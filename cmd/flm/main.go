@@ -1,0 +1,250 @@
+// Command flm runs the FLM85 reproduction experiments.
+//
+// Usage:
+//
+//	flm list                 list registered experiments
+//	flm run E1 [E2 ...]      run specific experiments and print results
+//	flm all [-o out.txt]     run everything (optionally tee to a file)
+//	flm adequacy <n> <f>     adequacy report for K_n with f faults
+//	flm prove <device>       run the hexagon argument against a device
+//	                         (majority|eig|phase-king)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"flm"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, out io.Writer) int {
+	if len(args) == 0 {
+		usage(out)
+		return 2
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(out)
+	case "run":
+		return cmdRun(args[1:], out)
+	case "all":
+		return cmdAll(args[1:], out)
+	case "adequacy":
+		return cmdAdequacy(args[1:], out)
+	case "prove":
+		return cmdProve(args[1:], out)
+	case "dot":
+		return cmdDot(args[1:], out)
+	case "trace":
+		return cmdTrace(args[1:], out)
+	case "help", "-h", "--help":
+		usage(out)
+		return 0
+	default:
+		fmt.Fprintf(out, "unknown command %q\n", args[0])
+		usage(out)
+		return 2
+	}
+}
+
+func usage(out io.Writer) {
+	fmt.Fprintln(out, `flm — Fischer-Lynch-Merritt 1985 reproduction harness
+
+commands:
+  list                 list registered experiments (E1-E14)
+  run <id> [<id>...]   run specific experiments
+  all [-o file]        run every experiment (tee to file with -o)
+  adequacy <n> <f>     adequacy report for the complete graph K_n
+  prove <device>       defeat a device with the hexagon argument
+  dot <cover> [m]      Graphviz DOT of a covering (hex|diamond|ring)
+  trace <device>       round-by-round traffic of the hexagon covering run`)
+}
+
+func cmdDot(args []string, out io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(out, "dot: usage: flm dot hex|diamond|ring [m]")
+		return 2
+	}
+	var cover *flm.Cover
+	switch args[0] {
+	case "hex":
+		cover = flm.HexCover()
+	case "diamond":
+		cover = flm.DiamondCover()
+	case "ring":
+		m := 12
+		if len(args) > 1 {
+			parsed, err := strconv.Atoi(args[1])
+			if err != nil || parsed < 3 || parsed%3 != 0 {
+				fmt.Fprintln(out, "dot: ring size must be a positive multiple of 3")
+				return 2
+			}
+			m = parsed
+		}
+		cover = flm.RingCoverTriangle(m)
+	default:
+		fmt.Fprintf(out, "dot: unknown cover %q (have: hex, diamond, ring)\n", args[0])
+		return 2
+	}
+	fmt.Fprint(out, cover.DOT(args[0]))
+	return 0
+}
+
+func cmdTrace(args []string, out io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "trace: usage: flm trace <device>  (majority|eig|phase-king)")
+		return 2
+	}
+	tri := flm.Triangle()
+	peers := tri.Names()
+	devices := map[string]flm.Builder{
+		"majority":   flm.NewMajority(2),
+		"eig":        flm.NewEIG(1, peers),
+		"phase-king": flm.NewPhaseKing(1, peers),
+	}
+	builder, ok := devices[args[0]]
+	if !ok {
+		fmt.Fprintf(out, "trace: unknown device %q (have: majority, eig, phase-king)\n", args[0])
+		return 2
+	}
+	builders := map[string]flm.Builder{}
+	for _, name := range peers {
+		builders[name] = builder
+	}
+	cover := flm.HexCover()
+	inputs := map[string]flm.Input{}
+	for i := 0; i < cover.S.N(); i++ {
+		inputs[cover.S.Name(i)] = flm.BoolInput(i >= 3)
+	}
+	inst, err := flm.InstallCover(cover, builders, inputs)
+	if err != nil {
+		fmt.Fprintf(out, "trace: %v\n", err)
+		return 1
+	}
+	run, err := inst.Execute(6)
+	if err != nil {
+		fmt.Fprintf(out, "trace: %v\n", err)
+		return 1
+	}
+	st := flm.CollectStats(run)
+	fmt.Fprintf(out, "hexagon covering run of %q: %s\n\n", args[0], st)
+	fmt.Fprint(out, flm.TraceRun(run, 60))
+	fmt.Fprintf(out, "\ndecisions:\n%s", run)
+	return 0
+}
+
+func cmdList(out io.Writer) int {
+	for _, e := range flm.Experiments() {
+		fmt.Fprintf(out, "%-4s %-55s %s\n", e.ID, e.Name, e.Paper)
+	}
+	return 0
+}
+
+func cmdRun(ids []string, out io.Writer) int {
+	if len(ids) == 0 {
+		fmt.Fprintln(out, "run: need at least one experiment ID")
+		return 2
+	}
+	for _, id := range ids {
+		e, ok := flm.FindExperiment(strings.ToUpper(id))
+		if !ok {
+			fmt.Fprintf(out, "no experiment %q (try: flm list)\n", id)
+			return 2
+		}
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(out, "%s failed: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	return 0
+}
+
+func cmdAll(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
+	outPath := fs.String("o", "", "also write the report to this file")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var sink io.Writer = out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(out, "create %s: %v\n", *outPath, err)
+			return 1
+		}
+		defer f.Close()
+		sink = io.MultiWriter(out, f)
+	}
+	for _, e := range flm.Experiments() {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(sink, "%s FAILED: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Fprintln(sink, res.Render())
+	}
+	return 0
+}
+
+func cmdAdequacy(args []string, out io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(out, "adequacy: usage: flm adequacy <n> <f>")
+		return 2
+	}
+	n, err1 := strconv.Atoi(args[0])
+	f, err2 := strconv.Atoi(args[1])
+	if err1 != nil || err2 != nil || n < 1 || f < 0 {
+		fmt.Fprintln(out, "adequacy: n and f must be non-negative integers (n >= 1)")
+		return 2
+	}
+	g := flm.Complete(n)
+	fmt.Fprintf(out, "K_%d: connectivity %d, 3f+1 = %d, 2f+1 = %d\n",
+		n, g.VertexConnectivity(), 3*f+1, 2*f+1)
+	if flm.Adequate(g, f) {
+		fmt.Fprintf(out, "ADEQUATE for f=%d: all five consensus problems are solvable (see E9-E12)\n", f)
+	} else {
+		fmt.Fprintf(out, "INADEQUATE for f=%d: Theorems 1,2,4,5,6,8 apply (see E1-E8)\n", f)
+	}
+	fmt.Fprintf(out, "max tolerable faults: %d\n", flm.MaxTolerableFaults(g))
+	return 0
+}
+
+func cmdProve(args []string, out io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(out, "prove: usage: flm prove <device>")
+		return 2
+	}
+	g := flm.Triangle()
+	peers := g.Names()
+	devices := map[string]flm.Builder{
+		"majority":   flm.NewMajority(2),
+		"eig":        flm.NewEIG(1, peers),
+		"phase-king": flm.NewPhaseKing(1, peers),
+	}
+	name := args[0]
+	builder, ok := devices[name]
+	if !ok {
+		fmt.Fprintf(out, "prove: unknown device %q (have: majority, eig, phase-king)\n", name)
+		return 2
+	}
+	builders := map[string]flm.Builder{}
+	for _, nodeName := range peers {
+		builders[nodeName] = builder
+	}
+	cr, err := flm.ProveByzantineTriangle(builders, name, 8)
+	if err != nil {
+		fmt.Fprintf(out, "engine error: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(out, cr.String())
+	return 0
+}

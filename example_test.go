@@ -1,0 +1,143 @@
+package flm_test
+
+import (
+	"fmt"
+
+	"flm"
+)
+
+// Adequacy is the paper's headline predicate: n >= 3f+1 nodes and
+// 2f+1 vertex connectivity.
+func ExampleAdequate() {
+	fmt.Println(flm.Adequate(flm.Triangle(), 1))
+	fmt.Println(flm.Adequate(flm.Complete(4), 1))
+	fmt.Println(flm.Adequate(flm.Diamond(), 1))
+	fmt.Println(flm.MaxTolerableFaults(flm.Complete(10)))
+	// Output:
+	// false
+	// true
+	// false
+	// 3
+}
+
+// Running EIG Byzantine agreement on an adequate graph with a silent
+// traitor.
+func ExampleNewEIG() {
+	g := flm.Complete(4)
+	p := flm.Protocol{Builders: map[string]flm.Builder{}, Inputs: map[string]flm.Input{}}
+	for _, name := range g.Names() {
+		p.Builders[name] = flm.NewEIG(1, g.Names())
+		p.Inputs[name] = flm.BoolInput(true)
+	}
+	p.Builders["p3"] = flm.Silent()
+	sys, err := flm.NewSystem(g, p)
+	if err != nil {
+		panic(err)
+	}
+	run, err := flm.Execute(sys, flm.EIGRounds(1))
+	if err != nil {
+		panic(err)
+	}
+	rep := flm.CheckByzantineAgreement(run, []string{"p0", "p1", "p2"})
+	d, _ := run.DecisionOf("p0")
+	fmt.Println(rep.OK(), d.Value)
+	// Output:
+	// true 1
+}
+
+// The impossibility engine defeating the majority device on the
+// triangle (Theorem 1's hexagon argument).
+func ExampleProveByzantineTriangle() {
+	g := flm.Triangle()
+	builders := map[string]flm.Builder{}
+	for _, name := range g.Names() {
+		builders[name] = flm.NewMajority(2)
+	}
+	cr, err := flm.ProveByzantineTriangle(builders, "majority", 8)
+	if err != nil {
+		panic(err)
+	}
+	v := cr.Violations[0]
+	fmt.Println(cr.Contradicted(), v.Link, v.Condition)
+	// Output:
+	// true E2 agreement
+}
+
+// Covering graphs look locally like the graph they cover.
+func ExampleHexCover() {
+	c := flm.HexCover()
+	fmt.Println(c.Verify() == nil)
+	fmt.Println(c.S.N(), "ring nodes over", c.G.N(), "triangle nodes")
+	fmt.Println("r4 covers", c.G.Name(c.Phi[4]))
+	// Output:
+	// true
+	// 6 ring nodes over 3 triangle nodes
+	// r4 covers b
+}
+
+// Dolev routing runs complete-graph protocols on sparse graphs with
+// connectivity 2f+1.
+func ExampleNewRouter() {
+	g := flm.Wheel(7)
+	r, err := flm.NewRouter(g, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.NumPaths(), "disjoint paths per pair, stretch", r.StretchFactor())
+	if _, err := flm.NewRouter(flm.Ring(7), 1); err != nil {
+		fmt.Println("ring refused: connectivity too low")
+	}
+	// Output:
+	// 3 disjoint paths per pair, stretch 5
+	// ring refused: connectivity too low
+}
+
+// With unforgeable signatures, agreement works on the triangle that
+// Theorem 1 proves hopeless for unsigned devices.
+func ExampleNewDolevStrong() {
+	g := flm.Triangle()
+	reg := flm.NewSigRegistry()
+	p := flm.Protocol{Builders: map[string]flm.Builder{}, Inputs: map[string]flm.Input{
+		"a": "1", "b": "1", "c": "1",
+	}}
+	for _, name := range g.Names() {
+		p.Builders[name] = flm.NewDolevStrong(1, g.Names(), reg)
+	}
+	p.Builders["c"] = flm.Silent()
+	sys, err := flm.NewSystem(g, p)
+	if err != nil {
+		panic(err)
+	}
+	run, err := flm.Execute(sys, flm.DolevStrongRounds(1))
+	if err != nil {
+		panic(err)
+	}
+	rep := flm.CheckByzantineAgreement(run, []string{"a", "b"})
+	fmt.Println(rep.OK())
+	// Output:
+	// true
+}
+
+// Approximate agreement converges geometrically inside the honest range.
+func ExampleNewDLPSW() {
+	g := flm.Complete(4)
+	rounds := flm.ApproxRoundsFor(1.0, 0.01)
+	p := flm.Protocol{Builders: map[string]flm.Builder{}, Inputs: map[string]flm.Input{}}
+	values := []float64{0, 1, 0.25, 0.75}
+	for i, name := range g.Names() {
+		p.Builders[name] = flm.NewDLPSW(1, g.Names(), rounds)
+		p.Inputs[name] = flm.RealInput(values[i])
+	}
+	sys, err := flm.NewSystem(g, p)
+	if err != nil {
+		panic(err)
+	}
+	run, err := flm.Execute(sys, rounds+1)
+	if err != nil {
+		panic(err)
+	}
+	rep := flm.CheckEDG(run, g.Names(), 0.01, 0)
+	fmt.Println("within 0.01:", rep.OK())
+	// Output:
+	// within 0.01: true
+}

@@ -1,0 +1,92 @@
+// Covering attack: a step-by-step mechanized walkthrough of FLM85's
+// hexagon argument (Theorem 1, n=3, f=1), printing the covering graph,
+// the covering run, each spliced behavior E1/E2/E3 with its faulty
+// masquerader, and the contradiction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"flm"
+)
+
+func main() {
+	// Step 1: the inadequate graph and its covering.
+	tri := flm.Triangle()
+	cover := flm.HexCover()
+	fmt.Println("G = triangle (n = 3 = 3f with f = 1):")
+	fmt.Print(indent(tri.String()))
+	fmt.Println("S = hexagon covering (each ring node maps to a triangle node):")
+	fmt.Print(indent(cover.S.String()))
+	fmt.Print("phi: ")
+	for i := 0; i < cover.S.N(); i++ {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s->%s", cover.S.Name(i), cover.G.Name(cover.Phi[i]))
+	}
+	fmt.Println()
+
+	// Step 2: install the devices under test on S. Copy 0 (r0,r1,r2)
+	// gets input 0, copy 1 (r3,r4,r5) gets input 1.
+	builders := map[string]flm.Builder{}
+	for _, name := range tri.Names() {
+		builders[name] = flm.NewMajority(2)
+	}
+	inputs := map[string]flm.Input{
+		"r0": "0", "r1": "0", "r2": "0",
+		"r3": "1", "r4": "1", "r5": "1",
+	}
+	inst, err := flm.InstallCover(cover, builders, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runS, err := inst.Execute(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncovering run of S (majority devices; note the ring disagrees with itself):")
+	fmt.Print(indent(runS.String()))
+
+	// Step 3: splice the paper's three scenarios into behaviors of G.
+	scenarios := []struct {
+		name  string
+		nodes []int
+		story string
+	}{
+		{"E1", []int{1, 2}, "b,c correct with input 0; a is faulty, replaying r0->r1 and r5->r2 traffic"},
+		{"E2", []int{2, 3}, "c,a correct (inputs 0,1); b is faulty, replaying r1->r2 and r4->r3 traffic"},
+		{"E3", []int{3, 4}, "a,b correct with input 1; c is faulty, replaying r2->r3 and r5->r4 traffic"},
+	}
+	for _, sc := range scenarios {
+		sp, err := flm.SpliceScenario(inst, runS, sc.nodes, builders)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: %s\n", sc.name, sc.story)
+		fmt.Printf("  correct: %v, faulty: %v\n", sp.Correct, sp.Faulty)
+		fmt.Println("  (locality self-check passed: spliced behaviors byte-identical to the covering scenario)")
+		for _, name := range sp.Correct {
+			d, _ := sp.Run.DecisionOf(name)
+			fmt.Printf("  %s decided %q at round %d\n", name, d.Value, d.Round)
+		}
+	}
+
+	// Step 4: the full engine run names the violated condition.
+	cr, err := flm.ProveByzantineTriangle(builders, "majority", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull chain verdict:\n%s", cr)
+	fmt.Println("No matter which device you plug in, one of E1/E2/E3 must break — that is Theorem 1.")
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,77 @@
+// Sensor fusion: seven redundant temperature sensors must settle on a
+// common reading within 0.05 degrees although two of them are broken and
+// actively lying. DLPSW iterated approximate agreement (n = 7 >= 3f+1
+// with f = 2) converges geometrically inside the honest reading range —
+// and the same algorithm on three sensors with one fault is provably
+// hopeless (FLM85 Theorem 5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"flm"
+)
+
+func main() {
+	g := flm.Complete(7)
+	const (
+		f     = 2
+		eps   = 0.05
+		delta = 1.2 // honest readings span at most 1.2 degrees
+	)
+	readings := map[string]float64{
+		"p0": 20.1, "p1": 20.4, "p2": 19.9, "p3": 20.7,
+		"p4": 20.3, // p5, p6 are broken
+		"p5": -40, "p6": 99,
+	}
+	rounds := flm.ApproxRoundsFor(delta, eps)
+	honest := flm.NewDLPSW(f, g.Names(), rounds)
+
+	p := flm.Protocol{Builders: map[string]flm.Builder{}, Inputs: map[string]flm.Input{}}
+	for _, name := range g.Names() {
+		p.Inputs[name] = flm.RealInput(readings[name])
+		p.Builders[name] = honest
+	}
+	// p5 babbles random numbers, p6 equivocates between two extremes.
+	p.Builders["p5"] = flm.Noise(7, "0", "100", "-100", "20.0", "boom")
+	p.Builders["p6"] = flm.Equivocate(honest, flm.RealInput(-40), flm.RealInput(99),
+		func(nb string) bool { return nb < "p3" })
+
+	sys, err := flm.NewSystem(g, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := flm.Execute(sys, rounds+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := []string{"p0", "p1", "p2", "p3", "p4"}
+	fmt.Printf("DLPSW with n=7, f=2, %d averaging rounds (target eps=%.2f):\n", rounds, eps)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, name := range correct {
+		d, _ := run.DecisionOf(name)
+		var v float64
+		fmt.Sscanf(d.Value, "%g", &v)
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+		fmt.Printf("  %s: %.5f (raw reading %.1f)\n", name, v, readings[name])
+	}
+	fmt.Printf("spread %.5f <= eps %.2f: %v; inside honest range [19.9, 20.7]: %v\n",
+		hi-lo, eps, hi-lo <= eps, lo >= 19.9 && hi <= 20.7)
+
+	rep := flm.CheckEDG(run, correct, eps, 0)
+	fmt.Printf("(ε,δ,γ)-agreement conditions hold: %v\n", rep.OK())
+
+	// Three sensors, one broken: impossible, mechanically.
+	tri := flm.Triangle()
+	builders := map[string]flm.Builder{}
+	for _, name := range tri.Names() {
+		builders[name] = flm.NewDLPSW(1, tri.Names(), 4)
+	}
+	cr, err := flm.ProveSimpleApprox(builders, "dlpsw", 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nThree sensors, one fault (FLM85 Theorem 5):\n%s", cr)
+}

@@ -1,0 +1,129 @@
+package flm
+
+import (
+	"testing"
+)
+
+// These tests exercise the public facade end to end, the way a downstream
+// user would.
+
+func TestPublicAdequacy(t *testing.T) {
+	if Adequate(Triangle(), 1) {
+		t.Error("triangle adequate for f=1")
+	}
+	if !Adequate(Complete(4), 1) {
+		t.Error("K4 inadequate for f=1")
+	}
+	if Adequate(Diamond(), 1) {
+		t.Error("diamond adequate for f=1")
+	}
+	if got := MaxTolerableFaults(Complete(10)); got != 3 {
+		t.Errorf("K10 tolerates %d faults, want 3", got)
+	}
+}
+
+func TestPublicAgreementRun(t *testing.T) {
+	g := Complete(4)
+	p := Protocol{Builders: map[string]Builder{}, Inputs: map[string]Input{}}
+	for i, name := range g.Names() {
+		p.Builders[name] = NewEIG(1, g.Names())
+		p.Inputs[name] = BoolInput(i%2 == 0)
+	}
+	sys, err := NewSystem(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Execute(sys, EIGRounds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckByzantineAgreement(run, g.Names())
+	if !rep.OK() {
+		t.Errorf("fault-free EIG run failed: %v", rep.Err())
+	}
+}
+
+func TestPublicImpossibilityEngine(t *testing.T) {
+	g := Triangle()
+	builders := map[string]Builder{}
+	for _, name := range g.Names() {
+		builders[name] = NewMajority(2)
+	}
+	cr, err := ProveByzantineTriangle(builders, "majority", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Contradicted() {
+		t.Fatal("engine found no contradiction")
+	}
+}
+
+func TestPublicDolevOverlay(t *testing.T) {
+	g := Wheel(7)
+	r, err := NewRouter(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := Overlay(r, NewEIG(1, g.Names()))
+	trial := ByzantineTrial{
+		G:      g,
+		Inputs: map[string]Input{},
+		Honest: honest,
+		Rounds: r.Rounds(EIGRounds(1)),
+	}
+	for _, name := range g.Names() {
+		trial.Inputs[name] = BoolInput(true)
+	}
+	_, correct, rep, err := trial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(correct) != 7 || !rep.OK() {
+		t.Errorf("overlay run failed: %v", rep.Err())
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if got := len(Experiments()); got != 17 {
+		t.Errorf("registry has %d experiments", got)
+	}
+	e, ok := FindExperiment("E5")
+	if !ok {
+		t.Fatal("E5 missing")
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "E5" {
+		t.Errorf("ran %s", res.ID)
+	}
+}
+
+func TestPublicCoverConstruction(t *testing.T) {
+	c := HexCover()
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := InstallCover(c, map[string]Builder{
+		"a": NewMajority(2), "b": NewMajority(2), "c": NewMajority(2),
+	}, map[string]Input{
+		"r0": "0", "r1": "0", "r2": "0", "r3": "1", "r4": "1", "r5": "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runS, err := inst.Execute(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpliceScenario(inst, runS, []int{1, 2}, map[string]Builder{
+		"a": NewMajority(2), "b": NewMajority(2), "c": NewMajority(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Correct) != 2 || len(sp.Faulty) != 1 {
+		t.Errorf("splice shape: correct=%v faulty=%v", sp.Correct, sp.Faulty)
+	}
+}

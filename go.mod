@@ -1,0 +1,3 @@
+module flm
+
+go 1.22

@@ -1,0 +1,308 @@
+// Package adversary provides Byzantine fault strategies for attacking
+// consensus protocols in the simulator. The fundamental strategy — the
+// paper's Fault-axiom device F_A(E_1,...,E_d) — lives in sim.ReplayDevice;
+// this package adds the strategies used to stress the possibility side of
+// the reproduction: crash and omission failures, seeded random noise, and
+// equivocators assembled from honest devices (a faulty node running one
+// honest brain per audience, the classic "two-faced general").
+//
+// All strategies are deterministic given their parameters, preserving the
+// model's determinism assumption.
+package adversary
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"flm/internal/sim"
+)
+
+// Silent returns a builder for a device that never sends anything — the
+// simplest omission failure.
+func Silent() sim.Builder {
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		return sim.NewReplayDevice(nil)
+	}
+}
+
+// crashDevice behaves like its inner device until crashRound, then stops
+// sending forever (fail-stop).
+type crashDevice struct {
+	inner      sim.Device
+	crashRound int
+}
+
+var _ sim.Device = (*crashDevice)(nil)
+
+// Crash wraps a builder so the resulting device fail-stops at the given
+// round (messages from that round on are suppressed).
+func Crash(inner sim.Builder, crashRound int) sim.Builder {
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		return &crashDevice{inner: inner(self, neighbors, input), crashRound: crashRound}
+	}
+}
+
+func (d *crashDevice) Init(self string, neighbors []string, input sim.Input) {
+	d.inner.Init(self, neighbors, input)
+}
+
+func (d *crashDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
+	out := d.inner.Step(round, inbox)
+	if round >= d.crashRound {
+		return nil
+	}
+	return out
+}
+
+func (d *crashDevice) Snapshot() string {
+	return fmt.Sprintf("crash@%d|%s", d.crashRound, d.inner.Snapshot())
+}
+
+func (d *crashDevice) Output() (sim.Decision, bool) { return sim.Decision{}, false }
+
+// omissionDevice drops messages to a fixed subset of neighbors.
+type omissionDevice struct {
+	inner sim.Device
+	drop  map[string]bool
+}
+
+var _ sim.Device = (*omissionDevice)(nil)
+
+// Omission wraps a builder so messages to the listed neighbors are
+// silently dropped.
+func Omission(inner sim.Builder, dropTo ...string) sim.Builder {
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		drop := make(map[string]bool, len(dropTo))
+		for _, nb := range dropTo {
+			drop[nb] = true
+		}
+		return &omissionDevice{inner: inner(self, neighbors, input), drop: drop}
+	}
+}
+
+func (d *omissionDevice) Init(self string, neighbors []string, input sim.Input) {
+	d.inner.Init(self, neighbors, input)
+}
+
+func (d *omissionDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
+	out := d.inner.Step(round, inbox)
+	filtered := sim.Outbox{}
+	for nb, p := range out {
+		if !d.drop[nb] {
+			filtered[nb] = p
+		}
+	}
+	return filtered
+}
+
+func (d *omissionDevice) Snapshot() string {
+	keys := make([]string, 0, len(d.drop))
+	for k := range d.drop {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("omit[%s]|%s", strings.Join(keys, ","), d.inner.Snapshot())
+}
+
+func (d *omissionDevice) Output() (sim.Decision, bool) { return sim.Decision{}, false }
+
+// equivocator runs two honest inner devices with different inputs and
+// routes each neighbor's traffic to one of them — the two-faced general.
+// Both brains receive the full inbox, so each believes it is an honest
+// participant.
+type equivocator struct {
+	brainA, brainB sim.Device
+	useB           map[string]bool
+}
+
+var _ sim.Device = (*equivocator)(nil)
+
+// Equivocate builds a two-faced device: neighbors for which faceB returns
+// true see an honest device with input b; all others see an honest device
+// with input a.
+func Equivocate(inner sim.Builder, a, b sim.Input, faceB func(neighbor string) bool) sim.Builder {
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		d := &equivocator{
+			brainA: inner(self, neighbors, a),
+			brainB: inner(self, neighbors, b),
+			useB:   make(map[string]bool, len(neighbors)),
+		}
+		for _, nb := range neighbors {
+			if faceB(nb) {
+				d.useB[nb] = true
+			}
+		}
+		return d
+	}
+}
+
+func (d *equivocator) Init(self string, neighbors []string, input sim.Input) {
+	// Brains were initialized at construction with their own inputs.
+}
+
+func (d *equivocator) Step(round int, inbox sim.Inbox) sim.Outbox {
+	outA := d.brainA.Step(round, inbox)
+	outB := d.brainB.Step(round, inbox)
+	out := sim.Outbox{}
+	for nb, p := range outA {
+		if !d.useB[nb] {
+			out[nb] = p
+		}
+	}
+	for nb, p := range outB {
+		if d.useB[nb] {
+			out[nb] = p
+		}
+	}
+	return out
+}
+
+func (d *equivocator) Snapshot() string {
+	return "equiv|" + d.brainA.Snapshot() + "|" + d.brainB.Snapshot()
+}
+
+func (d *equivocator) Output() (sim.Decision, bool) { return sim.Decision{}, false }
+
+// noiseDevice sends seeded pseudo-random boolean payloads to every
+// neighbor every round. Deterministic for a fixed (seed, self) pair.
+type noiseDevice struct {
+	neighbors []string
+	rng       *rand.Rand
+	round     int
+	alphabet  []sim.Payload
+}
+
+var _ sim.Device = (*noiseDevice)(nil)
+
+// Noise returns a builder for a device babbling pseudo-random payloads
+// drawn from the alphabet (default {"0","1"} if none given).
+func Noise(seed int64, alphabet ...sim.Payload) sim.Builder {
+	if len(alphabet) == 0 {
+		alphabet = []sim.Payload{"0", "1"}
+	}
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		h := fnv.New64a()
+		h.Write([]byte(self))
+		d := &noiseDevice{
+			neighbors: append([]string(nil), neighbors...),
+			rng:       rand.New(rand.NewSource(seed ^ int64(h.Sum64()))),
+			alphabet:  alphabet,
+		}
+		sort.Strings(d.neighbors)
+		return d
+	}
+}
+
+func (d *noiseDevice) Init(self string, neighbors []string, input sim.Input) {}
+
+func (d *noiseDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
+	out := sim.Outbox{}
+	for _, nb := range d.neighbors {
+		out[nb] = d.alphabet[d.rng.Intn(len(d.alphabet))]
+	}
+	d.round = round
+	return out
+}
+
+func (d *noiseDevice) Snapshot() string { return fmt.Sprintf("noise@%d", d.round) }
+
+func (d *noiseDevice) Output() (sim.Decision, bool) { return sim.Decision{}, false }
+
+// mirrorDevice is an adaptive attacker: each round it takes the payloads
+// it received and reflects them to *other* neighbors (rotating the
+// audience), impersonating relayed traffic without understanding it.
+type mirrorDevice struct {
+	neighbors []string
+	pending   map[string]sim.Payload
+	round     int
+}
+
+var _ sim.Device = (*mirrorDevice)(nil)
+
+// Mirror returns a builder for reflection attackers.
+func Mirror() sim.Builder {
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		d := &mirrorDevice{}
+		d.Init(self, neighbors, input)
+		return d
+	}
+}
+
+func (d *mirrorDevice) Init(self string, neighbors []string, input sim.Input) {
+	d.neighbors = append([]string(nil), neighbors...)
+	sort.Strings(d.neighbors)
+	d.pending = map[string]sim.Payload{}
+}
+
+func (d *mirrorDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
+	d.round = round
+	out := sim.Outbox{}
+	if len(d.neighbors) == 0 {
+		return out
+	}
+	// Send to neighbor i what neighbor i+1 (cyclically) said last round.
+	for i, nb := range d.neighbors {
+		src := d.neighbors[(i+1)%len(d.neighbors)]
+		if p, ok := d.pending[src]; ok && p != sim.None {
+			out[nb] = p
+		}
+	}
+	d.pending = map[string]sim.Payload{}
+	for from, p := range inbox {
+		d.pending[from] = p
+	}
+	return out
+}
+
+func (d *mirrorDevice) Snapshot() string {
+	keys := make([]string, 0, len(d.pending))
+	for k := range d.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("mirror@%d[%s]", d.round, strings.Join(keys, ","))
+}
+
+func (d *mirrorDevice) Output() (sim.Decision, bool) { return sim.Decision{}, false }
+
+// Strategy couples a display name with a way to corrupt a given honest
+// builder, so protocol tests can sweep a whole panel.
+type Strategy struct {
+	Name    string
+	Corrupt func(inner sim.Builder) sim.Builder
+}
+
+// Panel returns the standard attack panel used by the possibility-side
+// experiments. The equivocator splits audiences by neighbor-name hash, so
+// every topology gets a nontrivial split.
+func Panel(seed int64) []Strategy {
+	hashSplit := func(nb string) bool {
+		h := fnv.New32a()
+		h.Write([]byte(nb))
+		return h.Sum32()%2 == 0
+	}
+	return []Strategy{
+		{Name: "silent", Corrupt: func(inner sim.Builder) sim.Builder { return Silent() }},
+		{Name: "crash@1", Corrupt: func(inner sim.Builder) sim.Builder { return Crash(inner, 1) }},
+		{Name: "crash@2", Corrupt: func(inner sim.Builder) sim.Builder { return Crash(inner, 2) }},
+		{Name: "omit-half", Corrupt: func(inner sim.Builder) sim.Builder {
+			return func(self string, neighbors []string, input sim.Input) sim.Device {
+				var drop []string
+				for i, nb := range neighbors {
+					if i%2 == 0 {
+						drop = append(drop, nb)
+					}
+				}
+				return Omission(inner, drop...)(self, neighbors, input)
+			}
+		}},
+		{Name: "equivocate", Corrupt: func(inner sim.Builder) sim.Builder {
+			return Equivocate(inner, sim.BoolInput(false), sim.BoolInput(true), hashSplit)
+		}},
+		{Name: "noise", Corrupt: func(inner sim.Builder) sim.Builder { return Noise(seed) }},
+		{Name: "mirror", Corrupt: func(inner sim.Builder) sim.Builder { return Mirror() }},
+	}
+}

@@ -1,0 +1,443 @@
+package byzantine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"flm/internal/adversary"
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+func boolInputs(g *graph.Graph, bits int) map[string]sim.Input {
+	inputs := make(map[string]sim.Input, g.N())
+	for i, name := range g.Names() {
+		inputs[name] = sim.BoolInput(bits&(1<<uint(i)) != 0)
+	}
+	return inputs
+}
+
+func TestEIGNoFaults(t *testing.T) {
+	for _, n := range []int{4, 5, 7} {
+		g := graph.Complete(n)
+		f := (n - 1) / 3
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			trial := Trial{
+				G:      g,
+				Inputs: boolInputs(g, bits),
+				Honest: NewEIG(f, g.Names()),
+				Rounds: EIGRounds(f),
+			}
+			_, _, rep, err := trial.Run()
+			if err != nil {
+				t.Fatalf("n=%d bits=%b: %v", n, bits, err)
+			}
+			if !rep.OK() {
+				t.Errorf("n=%d bits=%b: %v", n, bits, rep.Err())
+			}
+		}
+	}
+}
+
+func TestEIGOneFaultAllConfigurations(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewEIG(1, g.Names())
+	for bits := 0; bits < 16; bits++ {
+		for _, badNode := range g.Names() {
+			for _, strat := range adversary.Panel(7) {
+				trial := Trial{
+					G:      g,
+					Inputs: boolInputs(g, bits),
+					Honest: honest,
+					Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
+					Rounds: EIGRounds(1),
+				}
+				_, _, rep, err := trial.Run()
+				if err != nil {
+					t.Fatalf("bits=%b bad=%s strat=%s: %v", bits, badNode, strat.Name, err)
+				}
+				if !rep.OK() {
+					t.Errorf("bits=%b bad=%s strat=%s: %v", bits, badNode, strat.Name, rep.Err())
+				}
+			}
+		}
+	}
+}
+
+func TestEIGTwoFaults(t *testing.T) {
+	g := graph.Complete(7)
+	honest := NewEIG(2, g.Names())
+	strategies := adversary.Panel(11)
+	for _, bits := range []int{0, 0x7f, 0x55, 0x13, 0x68} {
+		for si, s1 := range strategies {
+			s2 := strategies[(si+3)%len(strategies)]
+			trial := Trial{
+				G:      g,
+				Inputs: boolInputs(g, bits),
+				Honest: honest,
+				Faulty: map[string]sim.Builder{
+					"p1": s1.Corrupt(honest),
+					"p5": s2.Corrupt(honest),
+				},
+				Rounds: EIGRounds(2),
+			}
+			_, _, rep, err := trial.Run()
+			if err != nil {
+				t.Fatalf("bits=%x strats=%s/%s: %v", bits, s1.Name, s2.Name, err)
+			}
+			if !rep.OK() {
+				t.Errorf("bits=%x strats=%s/%s: %v", bits, s1.Name, s2.Name, rep.Err())
+			}
+		}
+	}
+}
+
+// With n = 3f (inadequate), EIG is no longer safe: a two-faced adversary
+// must be able to break agreement or validity. This is the concrete
+// phenomenon Theorem 1 predicts; the full mechanized proof lives in
+// internal/core.
+func TestEIGBreaksAtThreeNodes(t *testing.T) {
+	g := graph.Triangle()
+	honest := NewEIG(1, g.Names())
+	broken := false
+	for bits := 0; bits < 8 && !broken; bits++ {
+		for _, badNode := range g.Names() {
+			for _, strat := range adversary.Panel(3) {
+				trial := Trial{
+					G:      g,
+					Inputs: boolInputs(g, bits),
+					Honest: honest,
+					Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
+					Rounds: EIGRounds(1),
+				}
+				_, _, rep, err := trial.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					broken = true
+				}
+			}
+		}
+	}
+	if !broken {
+		t.Error("no adversary in the panel broke EIG on the triangle; Theorem 1 says one must exist")
+	}
+}
+
+func TestEIGDecidesAtExpectedRound(t *testing.T) {
+	g := graph.Complete(4)
+	trial := Trial{
+		G:      g,
+		Inputs: boolInputs(g, 0xF),
+		Honest: NewEIG(1, g.Names()),
+		Rounds: EIGRounds(1) + 3, // extra rounds: decision must not change
+	}
+	run, correct, rep, err := trial.Run()
+	if err != nil || !rep.OK() {
+		t.Fatalf("rep=%v err=%v", rep, err)
+	}
+	for _, name := range correct {
+		d, _ := run.DecisionOf(name)
+		if d.Round != 2 { // f+1 = 2 is the deciding step
+			t.Errorf("%s decided at round %d, want 2", name, d.Round)
+		}
+	}
+}
+
+func TestEIGIgnoresMalformedClaims(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewEIG(1, g.Names())
+	garbage := sim.ReplayBuilder(map[string][]sim.Payload{
+		"p1": {"=;=;=", "p0=1;p0=0;zz=1;p1/p1=0"},
+		"p2": {"not-a-claim", ";;;;"},
+		"p3": {"p0=1=1", "/=0"},
+	})
+	trial := Trial{
+		G:      g,
+		Inputs: boolInputs(g, 0xE), // p0 faulty; p1,p2,p3 input 1
+		Honest: honest,
+		Faulty: map[string]sim.Builder{"p0": garbage},
+		Rounds: EIGRounds(1),
+	}
+	_, _, rep, err := trial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("garbage payloads broke EIG: %v", rep.Err())
+	}
+}
+
+func TestPhaseKingNoFaults(t *testing.T) {
+	g := graph.Complete(5)
+	for bits := 0; bits < 32; bits++ {
+		trial := Trial{
+			G:      g,
+			Inputs: boolInputs(g, bits),
+			Honest: NewPhaseKing(1, g.Names()),
+			Rounds: PhaseKingRounds(1),
+		}
+		_, _, rep, err := trial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("bits=%b: %v", bits, rep.Err())
+		}
+	}
+}
+
+func TestPhaseKingOneFault(t *testing.T) {
+	g := graph.Complete(5) // n = 4f+1 with f=1
+	honest := NewPhaseKing(1, g.Names())
+	for bits := 0; bits < 32; bits++ {
+		for _, badNode := range g.Names() {
+			for _, strat := range adversary.Panel(13) {
+				trial := Trial{
+					G:      g,
+					Inputs: boolInputs(g, bits),
+					Honest: honest,
+					Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
+					Rounds: PhaseKingRounds(1),
+				}
+				_, _, rep, err := trial.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Errorf("bits=%b bad=%s strat=%s: %v", bits, badNode, strat.Name, rep.Err())
+				}
+			}
+		}
+	}
+}
+
+func TestPhaseKingTwoFaults(t *testing.T) {
+	g := graph.Complete(9) // n = 4f+1 with f=2
+	honest := NewPhaseKing(2, g.Names())
+	strategies := adversary.Panel(17)
+	for _, bits := range []int{0, 0x1ff, 0xAA, 0x0F3} {
+		for si, s1 := range strategies {
+			s2 := strategies[(si+2)%len(strategies)]
+			trial := Trial{
+				G:      g,
+				Inputs: boolInputs(g, bits),
+				Honest: honest,
+				Faulty: map[string]sim.Builder{
+					"p0": s1.Corrupt(honest), // p0 is a king: worst case
+					"p4": s2.Corrupt(honest),
+				},
+				Rounds: PhaseKingRounds(2),
+			}
+			_, _, rep, err := trial.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Errorf("bits=%x strats=%s/%s: %v", bits, s1.Name, s2.Name, rep.Err())
+			}
+		}
+	}
+}
+
+// A reduced f=3 integration run (the full cross product would take tens
+// of seconds; three strategies and two corners suffice to exercise the
+// deep EIG tree).
+func TestEIGThreeFaults(t *testing.T) {
+	g := graph.Complete(10)
+	honest := NewEIG(3, g.Names())
+	strategies := adversary.Panel(61)
+	for _, bits := range []int{0, 0x3ff} {
+		for si := 0; si < 3; si++ {
+			trial := Trial{
+				G:      g,
+				Inputs: boolInputs(g, bits),
+				Honest: honest,
+				Faulty: map[string]sim.Builder{
+					"p0": strategies[si].Corrupt(honest),
+					"p4": strategies[(si+2)%len(strategies)].Corrupt(honest),
+					"p9": strategies[(si+4)%len(strategies)].Corrupt(honest),
+				},
+				Rounds: EIGRounds(3),
+			}
+			_, _, rep, err := trial.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Errorf("bits=%x si=%d: %v", bits, si, rep.Err())
+			}
+		}
+	}
+}
+
+func TestNaiveConstantViolatesValidity(t *testing.T) {
+	g := graph.Complete(4)
+	trial := Trial{
+		G:      g,
+		Inputs: boolInputs(g, 0xF), // unanimous 1
+		Honest: NewConstant("0", 2),
+		Rounds: 4,
+	}
+	_, _, rep, err := trial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Validity == nil {
+		t.Error("constant-0 device passed validity on unanimous 1")
+	}
+	if rep.Agreement != nil {
+		t.Errorf("constant device broke agreement: %v", rep.Agreement)
+	}
+}
+
+func TestNaiveOwnInputViolatesAgreement(t *testing.T) {
+	g := graph.Complete(4)
+	trial := Trial{
+		G:      g,
+		Inputs: boolInputs(g, 0x5), // mixed
+		Honest: NewOwnInput(2),
+		Rounds: 4,
+	}
+	_, _, rep, err := trial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Agreement == nil {
+		t.Error("own-input device passed agreement on mixed inputs")
+	}
+	if rep.Validity != nil {
+		t.Errorf("own-input device broke validity: %v", rep.Validity)
+	}
+}
+
+func TestNaiveMajorityFaultFree(t *testing.T) {
+	// With no faults the majority device reaches agreement on complete
+	// graphs after one exchange when the majority is strict, and falls
+	// to the default on ties — either way all nodes agree.
+	g := graph.Complete(5)
+	for bits := 0; bits < 32; bits++ {
+		trial := Trial{
+			G:      g,
+			Inputs: boolInputs(g, bits),
+			Honest: NewMajority(2),
+			Rounds: 4,
+		}
+		_, _, rep, err := trial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Termination != nil || rep.Agreement != nil {
+			t.Errorf("bits=%b: %v", bits, rep.Err())
+		}
+		if rep.Validity != nil {
+			t.Errorf("bits=%b: majority broke validity without faults: %v", bits, rep.Validity)
+		}
+	}
+}
+
+func TestNaiveEchoFaultFree(t *testing.T) {
+	g := graph.Complete(5)
+	for _, bits := range []int{0, 31, 10, 21} {
+		trial := Trial{
+			G:      g,
+			Inputs: boolInputs(g, bits),
+			Honest: NewEcho(2),
+			Rounds: 4,
+		}
+		_, _, rep, err := trial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Termination != nil || rep.Agreement != nil || rep.Validity != nil {
+			t.Errorf("bits=%b: %v", bits, rep.Err())
+		}
+	}
+}
+
+func TestTrialValidation(t *testing.T) {
+	g := graph.Complete(3)
+	trial := Trial{
+		G:      g,
+		Inputs: map[string]sim.Input{"p0": "0"}, // missing p1, p2
+		Honest: NewMajority(1),
+		Rounds: 2,
+	}
+	if _, _, _, err := trial.Run(); err == nil {
+		t.Error("missing inputs accepted")
+	}
+}
+
+func TestCheckBAUndecided(t *testing.T) {
+	g := graph.Complete(3)
+	trial := Trial{
+		G:      g,
+		Inputs: boolInputs(g, 0),
+		Honest: NewMajority(100), // never reaches its decide round
+		Rounds: 3,
+	}
+	_, correct, rep, err := trial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(correct) != 3 || rep.Termination == nil {
+		t.Errorf("undecided run not flagged: %+v", rep)
+	}
+}
+
+// Property: EIG with one random adversary on K4 satisfies all conditions
+// for every input assignment and strategy drawn from the panel.
+func TestEIGPropertyRandomAttack(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewEIG(1, g.Names())
+	prop := func(bits uint8, badIdx uint8, stratIdx uint8, seed int64) bool {
+		strategies := adversary.Panel(seed)
+		bad := g.Names()[int(badIdx)%g.N()]
+		strat := strategies[int(stratIdx)%len(strategies)]
+		trial := Trial{
+			G:      g,
+			Inputs: boolInputs(g, int(bits)%16),
+			Honest: honest,
+			Faulty: map[string]sim.Builder{bad: strat.Corrupt(honest)},
+			Rounds: EIGRounds(1),
+		}
+		_, _, rep, err := trial.Run()
+		return err == nil && rep.OK()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decisions are deterministic — the same trial always produces
+// identical decisions.
+func TestTrialDeterminism(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewEIG(1, g.Names())
+	strat := adversary.Panel(5)[5] // noise (seeded)
+	mk := func() map[string]string {
+		trial := Trial{
+			G:      g,
+			Inputs: boolInputs(g, 0x6),
+			Honest: honest,
+			Faulty: map[string]sim.Builder{"p2": strat.Corrupt(honest)},
+			Rounds: EIGRounds(1),
+		}
+		run, correct, _, err := trial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]string{}
+		for _, name := range correct {
+			d, _ := run.DecisionOf(name)
+			out[name] = d.Value
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("nondeterministic decisions: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,146 @@
+package byzantine
+
+import (
+	"fmt"
+	"sort"
+
+	"flm/internal/sim"
+)
+
+// phaseKingDevice implements the Berman–Garay phase-king protocol for
+// binary Byzantine agreement with n >= 4f+1 (polynomial messages, 2(f+1)
+// rounds, in contrast to EIG's optimal resilience but exponential
+// messages). Kings are the first f+1 processes in sorted name order;
+// since there are f+1 phases, at least one phase has a correct king.
+type phaseKingDevice struct {
+	self     string
+	peers    []string
+	nbs      []string
+	f        int
+	pref     string
+	mult     int
+	decided  bool
+	decision string
+}
+
+var _ sim.Device = (*phaseKingDevice)(nil)
+
+// NewPhaseKing returns a builder for phase-king devices tolerating f
+// faults among the given peers (n >= 4f+1 required for correctness).
+// Inputs must be canonical booleans; anything else becomes DefaultValue.
+func NewPhaseKing(f int, peers []string) sim.Builder {
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		d := &phaseKingDevice{f: f, peers: sorted}
+		d.Init(self, neighbors, input)
+		return d
+	}
+}
+
+func (d *phaseKingDevice) Init(self string, neighbors []string, input sim.Input) {
+	d.self = self
+	d.nbs = append([]string(nil), neighbors...)
+	sort.Strings(d.nbs)
+	d.pref = boolOrDefault(string(input))
+}
+
+func boolOrDefault(v string) string {
+	if v == "0" || v == "1" {
+		return v
+	}
+	return DefaultValue
+}
+
+// king returns the king of 1-indexed phase k.
+func (d *phaseKingDevice) king(k int) string { return d.peers[(k-1)%len(d.peers)] }
+
+// Step drives the two-round phase schedule:
+//
+//	step 2(k-1):   absorb king k-1's tie-break (k > 1), broadcast pref
+//	step 2(k-1)+1: absorb prefs, recompute pref/mult; king k broadcasts
+//	step 2(f+1):   absorb the final king, decide
+func (d *phaseKingDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
+	if d.decided {
+		return nil
+	}
+	switch {
+	case round%2 == 0:
+		phase := round / 2 // completed phases
+		if phase > 0 {
+			d.applyKing(d.king(phase), inbox)
+		}
+		if phase == d.f+1 {
+			d.decided = true
+			d.decision = d.pref
+			return nil
+		}
+		return d.broadcast(sim.Payload(d.pref))
+	default:
+		d.tally(inbox)
+		phase := (round + 1) / 2
+		if d.king(phase) == d.self {
+			return d.broadcast(sim.Payload(d.pref))
+		}
+		return nil
+	}
+}
+
+// tally counts the received preferences (plus our own) and adopts the
+// plurality value, ties favoring DefaultValue.
+func (d *phaseKingDevice) tally(inbox sim.Inbox) {
+	count := map[string]int{d.pref: 1}
+	for _, p := range d.peers {
+		if p == d.self {
+			continue
+		}
+		if payload, ok := inbox[p]; ok {
+			count[boolOrDefault(string(payload))]++
+		}
+	}
+	zero, one := count["0"], count["1"]
+	if one > zero {
+		d.pref, d.mult = "1", one
+	} else {
+		d.pref, d.mult = "0", zero
+	}
+}
+
+// applyKing keeps the local preference only with a strong majority
+// (> n/2 + f); otherwise it adopts the king's broadcast value.
+func (d *phaseKingDevice) applyKing(king string, inbox sim.Inbox) {
+	if 2*d.mult > len(d.peers)+2*d.f {
+		return
+	}
+	if king == d.self {
+		return // our own broadcast was our pref
+	}
+	kingValue := DefaultValue
+	if payload, ok := inbox[king]; ok {
+		kingValue = boolOrDefault(string(payload))
+	}
+	d.pref = kingValue
+}
+
+func (d *phaseKingDevice) broadcast(p sim.Payload) sim.Outbox {
+	out := sim.Outbox{}
+	for _, nb := range d.nbs {
+		out[nb] = p
+	}
+	return out
+}
+
+func (d *phaseKingDevice) Snapshot() string {
+	return fmt.Sprintf("pk(f=%d,pref=%s,mult=%d,dec=%v:%s)", d.f, d.pref, d.mult, d.decided, d.decision)
+}
+
+func (d *phaseKingDevice) Output() (sim.Decision, bool) {
+	if !d.decided {
+		return sim.Decision{}, false
+	}
+	return sim.Decision{Value: d.decision}, true
+}
+
+// PhaseKingRounds returns the number of simulator rounds a phase-king run
+// needs: two rounds per phase plus the deciding step.
+func PhaseKingRounds(f int) int { return 2*(f+1) + 1 }

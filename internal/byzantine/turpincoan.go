@@ -1,0 +1,176 @@
+package byzantine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flm/internal/sim"
+)
+
+// turpinCoan implements the Turpin-Coan reduction from multivalued to
+// binary Byzantine agreement (n >= 3f+1): two preliminary exchange
+// rounds distill at most one candidate value w held by enough correct
+// nodes, binary EIG agrees on whether to adopt it, and the quorum
+// arithmetic guarantees every correct node that needs w can identify it
+// unambiguously.
+//
+//	Round 0: broadcast the input value.
+//	Round 1: broadcast y = the value seen >= n-f times (or ⊥).
+//	         Set vote = 1 iff some value appears >= n-f times among the
+//	         y's, and alt = the unique value appearing >= f+1 times.
+//	Rounds 2..: binary EIG on vote; decide alt if it agrees on 1 and alt
+//	         exists, else the default value.
+//
+// Correctness hinges on two quorum facts (both need n > 3f): two correct
+// nodes' non-⊥ y values coincide, and any value with >= f+1 round-1
+// witnesses among the y's was vouched for by a correct node.
+type turpinCoan struct {
+	self      string
+	peers     []string
+	neighbors []string
+	f         int
+	input     string
+	y         string // round-1 relay value, "" encodes ⊥
+	alt       string
+	altOK     bool
+	inner     sim.Device
+	decided   bool
+	decision  string
+}
+
+var _ sim.Device = (*turpinCoan)(nil)
+
+// tcBot is the on-wire encoding of ⊥.
+const tcBot = "-"
+
+// NewTurpinCoan returns a builder for multivalued agreement devices over
+// arbitrary string values (n >= 3f+1). Values containing protocol
+// delimiters are treated as the default.
+func NewTurpinCoan(f int, peers []string) sim.Builder {
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		d := &turpinCoan{f: f, peers: sorted}
+		d.Init(self, neighbors, input)
+		return d
+	}
+}
+
+// TurpinCoanRounds returns the simulator rounds a Turpin-Coan run needs:
+// two exchange rounds plus the binary agreement.
+func TurpinCoanRounds(f int) int { return 2 + EIGRounds(f) }
+
+func (d *turpinCoan) Init(self string, neighbors []string, input sim.Input) {
+	d.self = self
+	d.neighbors = append([]string(nil), neighbors...)
+	sort.Strings(d.neighbors)
+	d.input = sanitizeMV(string(input))
+}
+
+// sanitizeMV keeps multivalued inputs inside the payload alphabet.
+func sanitizeMV(v string) string {
+	if v == "" || v == tcBot || strings.ContainsAny(v, ";=/|") {
+		return DefaultValue
+	}
+	return v
+}
+
+func (d *turpinCoan) Step(round int, inbox sim.Inbox) sim.Outbox {
+	switch {
+	case round == 0:
+		return d.broadcast(sim.Payload(d.input))
+	case round == 1:
+		counts := d.tallyPeers(inbox, d.input)
+		d.y = tcBot
+		for _, v := range sortedKeys(counts) {
+			if counts[v] >= len(d.peers)-d.f {
+				d.y = v
+			}
+		}
+		return d.broadcast(sim.Payload(d.y))
+	case round == 2:
+		counts := d.tallyPeers(inbox, d.y)
+		delete(counts, tcBot)
+		vote := false
+		for _, v := range sortedKeys(counts) {
+			if counts[v] >= len(d.peers)-d.f {
+				vote = true
+			}
+			if counts[v] >= d.f+1 {
+				// Unique when it exists: a value with f+1 witnesses has a
+				// correct witness, and correct non-⊥ y values coincide.
+				d.alt, d.altOK = v, true
+			}
+		}
+		d.inner = NewEIG(d.f, d.peers)(d.self, d.neighbors, sim.BoolInput(vote))
+		return d.inner.Step(0, sim.Inbox{})
+	default:
+		out := d.inner.Step(round-2, inbox)
+		if dec, ok := d.inner.Output(); ok && !d.decided {
+			d.decided = true
+			if dec.Value == "1" && d.altOK {
+				d.decision = d.alt
+			} else {
+				d.decision = DefaultValue
+			}
+		}
+		return out
+	}
+}
+
+// tallyPeers counts the values received from every peer this round
+// (self-delivery via own), treating silence as ⊥.
+func (d *turpinCoan) tallyPeers(inbox sim.Inbox, own string) map[string]int {
+	counts := map[string]int{own: 1}
+	for _, p := range d.peers {
+		if p == d.self {
+			continue
+		}
+		v := tcBot
+		if payload, ok := inbox[p]; ok {
+			s := string(payload)
+			if s == tcBot {
+				v = tcBot
+			} else if sanitized := sanitizeMV(s); sanitized == s {
+				v = s
+			}
+			// Garbled payloads count as ⊥.
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (d *turpinCoan) broadcast(p sim.Payload) sim.Outbox {
+	out := sim.Outbox{}
+	for _, nb := range d.neighbors {
+		out[nb] = p
+	}
+	return out
+}
+
+func (d *turpinCoan) Snapshot() string {
+	innerSnap := "pre"
+	if d.inner != nil {
+		innerSnap = d.inner.Snapshot()
+	}
+	return fmt.Sprintf("tc(in=%s,y=%s,alt=%s/%v,dec=%v:%s)|%s",
+		d.input, d.y, d.alt, d.altOK, d.decided, d.decision, innerSnap)
+}
+
+func (d *turpinCoan) Output() (sim.Decision, bool) {
+	if !d.decided {
+		return sim.Decision{}, false
+	}
+	return sim.Decision{Value: d.decision}, true
+}

@@ -1,0 +1,213 @@
+package byzantine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flm/internal/adversary"
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+var mvValues = []string{"red", "green", "blue"}
+
+func mvInputs(g *graph.Graph, digits int) map[string]sim.Input {
+	inputs := make(map[string]sim.Input, g.N())
+	for i, name := range g.Names() {
+		inputs[name] = sim.Input(mvValues[(digits/pow3(i))%3])
+	}
+	return inputs
+}
+
+func pow3(i int) int {
+	p := 1
+	for ; i > 0; i-- {
+		p *= 3
+	}
+	return p
+}
+
+func TestTurpinCoanNoFaults(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewTurpinCoan(1, g.Names())
+	for digits := 0; digits < 81; digits++ {
+		trial := Trial{
+			G:      g,
+			Inputs: mvInputs(g, digits),
+			Honest: honest,
+			Rounds: TurpinCoanRounds(1),
+		}
+		_, _, rep, err := trial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("digits=%d: %v", digits, rep.Err())
+		}
+	}
+}
+
+func TestTurpinCoanUnanimousValidity(t *testing.T) {
+	g := graph.Complete(7)
+	honest := NewTurpinCoan(2, g.Names())
+	for _, v := range mvValues {
+		inputs := map[string]sim.Input{}
+		for _, name := range g.Names() {
+			inputs[name] = sim.Input(v)
+		}
+		trial := Trial{G: g, Inputs: inputs, Honest: honest, Rounds: TurpinCoanRounds(2)}
+		run, correct, rep, err := trial.Run()
+		if err != nil || !rep.OK() {
+			t.Fatalf("v=%s: rep=%v err=%v", v, rep, err)
+		}
+		for _, name := range correct {
+			d, _ := run.DecisionOf(name)
+			if d.Value != v {
+				t.Errorf("v=%s: %s decided %s", v, name, d.Value)
+			}
+		}
+	}
+}
+
+func TestTurpinCoanOneFaultPanel(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewTurpinCoan(1, g.Names())
+	for _, digits := range []int{0, 40, 80, 13, 67} {
+		for _, badNode := range g.Names() {
+			for _, strat := range adversary.Panel(41) {
+				trial := Trial{
+					G:      g,
+					Inputs: mvInputs(g, digits),
+					Honest: honest,
+					Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
+					Rounds: TurpinCoanRounds(1),
+				}
+				_, _, rep, err := trial.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Errorf("digits=%d bad=%s strat=%s: %v", digits, badNode, strat.Name, rep.Err())
+				}
+			}
+		}
+	}
+}
+
+// A targeted multivalued equivocator: claims a different color to each
+// audience.
+func TestTurpinCoanValueEquivocation(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewTurpinCoan(1, g.Names())
+	equiv := adversary.Equivocate(honest, sim.Input("red"), sim.Input("blue"),
+		func(nb string) bool { return nb < "p2" })
+	// Three honest nodes unanimous on green: validity must force green
+	// despite the two-faced fault.
+	inputs := map[string]sim.Input{
+		"p0": "green", "p1": "green", "p2": "green", "p3": "red",
+	}
+	trial := Trial{
+		G: g, Inputs: inputs, Honest: honest,
+		Faulty: map[string]sim.Builder{"p3": equiv},
+		Rounds: TurpinCoanRounds(1),
+	}
+	run, correct, rep, err := trial.Run()
+	if err != nil || !rep.OK() {
+		t.Fatalf("rep=%v err=%v", rep, err)
+	}
+	for _, name := range correct {
+		d, _ := run.DecisionOf(name)
+		if d.Value != "green" {
+			t.Errorf("%s decided %s, want green", name, d.Value)
+		}
+	}
+}
+
+func TestTurpinCoanTwoFaults(t *testing.T) {
+	g := graph.Complete(7)
+	honest := NewTurpinCoan(2, g.Names())
+	strategies := adversary.Panel(43)
+	for _, digits := range []int{0, 1093, 728} {
+		for si, s1 := range strategies {
+			s2 := strategies[(si+4)%len(strategies)]
+			trial := Trial{
+				G:      g,
+				Inputs: mvInputs(g, digits),
+				Honest: honest,
+				Faulty: map[string]sim.Builder{
+					"p0": s1.Corrupt(honest),
+					"p6": s2.Corrupt(honest),
+				},
+				Rounds: TurpinCoanRounds(2),
+			}
+			_, _, rep, err := trial.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Errorf("digits=%d strats=%s/%s: %v", digits, s1.Name, s2.Name, rep.Err())
+			}
+		}
+	}
+}
+
+func TestTurpinCoanSanitizesHostileValues(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewTurpinCoan(1, g.Names())
+	inputs := map[string]sim.Input{
+		"p0": "ok-value", "p1": "ok-value", "p2": "ok-value",
+		"p3": "bad;value=with/delims",
+	}
+	trial := Trial{G: g, Inputs: inputs, Honest: honest, Rounds: TurpinCoanRounds(1)}
+	run, correct, rep, err := trial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Termination != nil || rep.Agreement != nil {
+		t.Fatalf("hostile input broke the run: %v", rep.Err())
+	}
+	// p3's hostile input degraded to the default; the other three agree
+	// on their common value.
+	for _, name := range correct[:3] {
+		d, _ := run.DecisionOf(name)
+		if d.Value != "ok-value" && name != "p3" {
+			t.Errorf("%s decided %q", name, d.Value)
+		}
+	}
+}
+
+// Property: decisions are always either the default or some correct
+// node's input (no invented values), under random panel attacks.
+func TestTurpinCoanNoInventedValues(t *testing.T) {
+	g := graph.Complete(4)
+	honest := NewTurpinCoan(1, g.Names())
+	prop := func(digits uint16, badIdx, stratIdx uint8, seed int64) bool {
+		strategies := adversary.Panel(seed)
+		bad := g.Names()[int(badIdx)%g.N()]
+		strat := strategies[int(stratIdx)%len(strategies)]
+		inputs := mvInputs(g, int(digits)%81)
+		trial := Trial{
+			G: g, Inputs: inputs, Honest: honest,
+			Faulty: map[string]sim.Builder{bad: strat.Corrupt(honest)},
+			Rounds: TurpinCoanRounds(1),
+		}
+		run, correct, rep, err := trial.Run()
+		if err != nil || !rep.OK() {
+			return false
+		}
+		allowed := map[string]bool{DefaultValue: true, "1": true}
+		for _, name := range correct {
+			allowed[string(inputs[name])] = true
+		}
+		for _, name := range correct {
+			d, _ := run.DecisionOf(name)
+			if !allowed[d.Value] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package byzantine
+
+import (
+	"fmt"
+
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// Report records which Byzantine agreement correctness conditions a run
+// satisfied for a given correct-node set. A nil field means the condition
+// holds.
+type Report struct {
+	Termination error // every correct node decided
+	Agreement   error // all correct decisions equal
+	Validity    error // unanimous correct input forces that output
+}
+
+// OK reports whether every condition holds.
+func (r Report) OK() bool { return r.Termination == nil && r.Agreement == nil && r.Validity == nil }
+
+// Err returns the first violated condition, or nil.
+func (r Report) Err() error {
+	switch {
+	case r.Termination != nil:
+		return r.Termination
+	case r.Agreement != nil:
+		return r.Agreement
+	case r.Validity != nil:
+		return r.Validity
+	default:
+		return nil
+	}
+}
+
+// CheckBA evaluates the Byzantine agreement conditions on a run with the
+// given correct nodes (every other node is presumed faulty and ignored).
+func CheckBA(run *sim.Run, correct []string) Report {
+	var rep Report
+	decisions := make(map[string]string, len(correct))
+	for _, name := range correct {
+		d, err := run.DecisionOf(name)
+		if err != nil {
+			rep.Termination = err
+			return rep
+		}
+		if d.Value == "" {
+			rep.Termination = fmt.Errorf("byzantine: correct node %s never decided", name)
+			return rep
+		}
+		decisions[name] = d.Value
+	}
+	first := correct[0]
+	for _, name := range correct[1:] {
+		if decisions[name] != decisions[first] {
+			rep.Agreement = fmt.Errorf("byzantine: agreement violated: %s chose %s but %s chose %s",
+				first, decisions[first], name, decisions[name])
+			break
+		}
+	}
+	unanimous := true
+	var common sim.Input
+	for i, name := range correct {
+		u := run.G.MustIndex(name)
+		if i == 0 {
+			common = run.Inputs[u]
+		} else if run.Inputs[u] != common {
+			unanimous = false
+			break
+		}
+	}
+	if unanimous {
+		for _, name := range correct {
+			if decisions[name] != string(common) {
+				rep.Validity = fmt.Errorf("byzantine: validity violated: unanimous input %s but %s chose %s",
+					common, name, decisions[name])
+				break
+			}
+		}
+	}
+	return rep
+}
+
+// Trial describes one agreement execution: a graph, per-node inputs, the
+// honest protocol builder, and a set of faulty nodes with their
+// strategies.
+type Trial struct {
+	G      *graph.Graph
+	Inputs map[string]sim.Input
+	Honest sim.Builder
+	Faulty map[string]sim.Builder
+	Rounds int
+}
+
+// Run executes the trial and checks the agreement conditions over the
+// non-faulty nodes. It returns the run, the correct-node list, and the
+// condition report.
+func (t Trial) Run() (*sim.Run, []string, Report, error) {
+	p := sim.Protocol{
+		Builders: make(map[string]sim.Builder, t.G.N()),
+		Inputs:   make(map[string]sim.Input, t.G.N()),
+	}
+	var correct []string
+	for _, name := range t.G.Names() {
+		input, ok := t.Inputs[name]
+		if !ok {
+			return nil, nil, Report{}, fmt.Errorf("byzantine: no input for node %s", name)
+		}
+		p.Inputs[name] = input
+		if fb, bad := t.Faulty[name]; bad {
+			p.Builders[name] = fb
+		} else {
+			p.Builders[name] = t.Honest
+			correct = append(correct, name)
+		}
+	}
+	sys, err := sim.NewSystem(t.G, p)
+	if err != nil {
+		return nil, nil, Report{}, err
+	}
+	run, err := sim.Execute(sys, t.Rounds)
+	if err != nil {
+		return nil, nil, Report{}, err
+	}
+	return run, correct, CheckBA(run, correct), nil
+}

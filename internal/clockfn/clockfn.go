@@ -1,0 +1,189 @@
+// Package clockfn provides the time-function algebra behind the FLM85
+// clock synchronization results (Section 7): increasing invertible
+// functions of time with exact inverses and composition, so the paper's
+// h = p⁻¹∘q, its iterates hⁱ, and the scaled scenarios Sᵢhⁱ can be built
+// symbolically.
+//
+// Two layers coexist:
+//
+//   - Fn: float64 functions used for envelopes (l, u) and condition
+//     evaluation — linear, logarithmic, exponential, compositions.
+//   - RatLinear: exact rational affine clocks (big.Rat) used for event
+//     scheduling in the timed simulator, where exactness guarantees that
+//     scaling a run reorders nothing.
+package clockfn
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Fn is an increasing invertible function of time.
+type Fn interface {
+	At(t float64) float64
+	Inv(y float64) float64
+	String() string
+}
+
+// Linear is f(t) = Rate*t + Off with Rate > 0.
+type Linear struct {
+	Rate, Off float64
+}
+
+var _ Fn = Linear{}
+
+// At evaluates the function.
+func (f Linear) At(t float64) float64 { return f.Rate*t + f.Off }
+
+// Inv evaluates the inverse.
+func (f Linear) Inv(y float64) float64 { return (y - f.Off) / f.Rate }
+
+func (f Linear) String() string { return fmt.Sprintf("%g*t%+g", f.Rate, f.Off) }
+
+// Identity is f(t) = t.
+func Identity() Fn { return Linear{Rate: 1} }
+
+// Log2 is f(t) = log2(t), defined for t > 0 (Corollary 15's lower
+// envelope).
+type Log2 struct{}
+
+var _ Fn = Log2{}
+
+// At evaluates the function.
+func (Log2) At(t float64) float64 { return math.Log2(t) }
+
+// Inv evaluates the inverse.
+func (Log2) Inv(y float64) float64 { return math.Exp2(y) }
+
+func (Log2) String() string { return "log2(t)" }
+
+// Exp2 is f(t) = 2^t, the inverse of Log2.
+type Exp2 struct{}
+
+var _ Fn = Exp2{}
+
+// At evaluates the function.
+func (Exp2) At(t float64) float64 { return math.Exp2(t) }
+
+// Inv evaluates the inverse.
+func (Exp2) Inv(y float64) float64 { return math.Log2(y) }
+
+func (Exp2) String() string { return "2^t" }
+
+// compose is outer ∘ inner.
+type compose struct {
+	outer, inner Fn
+}
+
+var _ Fn = compose{}
+
+// Compose returns outer ∘ inner: t -> outer(inner(t)).
+func Compose(outer, inner Fn) Fn { return compose{outer: outer, inner: inner} }
+
+func (c compose) At(t float64) float64  { return c.outer.At(c.inner.At(t)) }
+func (c compose) Inv(y float64) float64 { return c.inner.Inv(c.outer.Inv(y)) }
+func (c compose) String() string        { return c.outer.String() + " ∘ " + c.inner.String() }
+
+// inverse flips a function.
+type inverse struct{ f Fn }
+
+var _ Fn = inverse{}
+
+// Inverse returns f⁻¹ as a function.
+func Inverse(f Fn) Fn { return inverse{f: f} }
+
+func (i inverse) At(t float64) float64  { return i.f.Inv(t) }
+func (i inverse) Inv(y float64) float64 { return i.f.At(y) }
+func (i inverse) String() string        { return "(" + i.f.String() + ")⁻¹" }
+
+// Iterate returns fⁿ (n-fold composition); negative n gives (f⁻¹)^|n| and
+// n = 0 the identity.
+func Iterate(f Fn, n int) Fn {
+	if n == 0 {
+		return Identity()
+	}
+	base := f
+	if n < 0 {
+		base = Inverse(f)
+		n = -n
+	}
+	out := base
+	for i := 1; i < n; i++ {
+		out = Compose(out, base)
+	}
+	return out
+}
+
+// RatLinear is the exact affine clock D(t) = Rate*t + Off over the
+// rationals. The zero value is unusable; construct with NewRatLinear or
+// RatIdentity.
+type RatLinear struct {
+	Rate, Off *big.Rat
+}
+
+// NewRatLinear builds the exact clock (num/den)*t + (onum/oden).
+func NewRatLinear(num, den, onum, oden int64) RatLinear {
+	return RatLinear{Rate: big.NewRat(num, den), Off: big.NewRat(onum, oden)}
+}
+
+// RatIdentity is the exact identity clock.
+func RatIdentity() RatLinear { return NewRatLinear(1, 1, 0, 1) }
+
+// At evaluates the clock at an exact time.
+func (f RatLinear) At(t *big.Rat) *big.Rat {
+	out := new(big.Rat).Mul(f.Rate, t)
+	return out.Add(out, f.Off)
+}
+
+// Inv evaluates the exact inverse.
+func (f RatLinear) Inv(y *big.Rat) *big.Rat {
+	out := new(big.Rat).Sub(y, f.Off)
+	return out.Quo(out, f.Rate)
+}
+
+// ComposeRat returns f ∘ g exactly (another affine clock).
+func (f RatLinear) ComposeRat(g RatLinear) RatLinear {
+	rate := new(big.Rat).Mul(f.Rate, g.Rate)
+	off := new(big.Rat).Mul(f.Rate, g.Off)
+	off.Add(off, f.Off)
+	return RatLinear{Rate: rate, Off: off}
+}
+
+// InverseRat returns f⁻¹ exactly.
+func (f RatLinear) InverseRat() RatLinear {
+	rate := new(big.Rat).Inv(f.Rate)
+	off := new(big.Rat).Mul(rate, f.Off)
+	off.Neg(off)
+	return RatLinear{Rate: rate, Off: off}
+}
+
+// IterateRat returns fⁿ exactly (negative n inverts).
+func (f RatLinear) IterateRat(n int) RatLinear {
+	out := RatIdentity()
+	base := f
+	if n < 0 {
+		base = f.InverseRat()
+		n = -n
+	}
+	for i := 0; i < n; i++ {
+		out = base.ComposeRat(out)
+	}
+	return out
+}
+
+// Float returns the float64 view of the clock for condition evaluation.
+func (f RatLinear) Float() Linear {
+	rate, _ := f.Rate.Float64()
+	off, _ := f.Off.Float64()
+	return Linear{Rate: rate, Off: off}
+}
+
+// Cmp compares two exact clocks for equality of law.
+func (f RatLinear) Cmp(g RatLinear) bool {
+	return f.Rate.Cmp(g.Rate) == 0 && f.Off.Cmp(g.Off) == 0
+}
+
+func (f RatLinear) String() string {
+	return fmt.Sprintf("%s*t+%s", f.Rate.RatString(), f.Off.RatString())
+}

@@ -1,0 +1,282 @@
+// Package clocksync implements FLM85 Section 7: clock synchronization
+// devices (the trivial lower-envelope clock, a chase-the-fastest clock,
+// and a midpoint-averaging clock), the "nontrivial synchronization"
+// conditions, and the mechanized Theorem 8 argument — the ring covering
+// with hardware clocks q∘h⁻ⁱ in which any device that beats the trivial
+// synchronization l(q(t))−l(p(t)) by a constant α must violate either the
+// agreement bound or the envelope condition.
+package clocksync
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"flm/internal/clockfn"
+	"flm/internal/timedsim"
+)
+
+// Builder constructs a fresh synchronization device for a named node.
+type Builder func(self string, neighbors []string) timedsim.Device
+
+// trivialDevice runs its logical clock at the lower envelope of its
+// hardware clock: C(t) = l(D(t)). The paper proves this no-communication
+// strategy is optimal on inadequate graphs: it synchronizes to exactly
+// l(q(t)) - l(p(t)) and nothing can do better by any constant.
+type trivialDevice struct {
+	l clockfn.Fn
+}
+
+var _ timedsim.Device = (*trivialDevice)(nil)
+
+// NewTrivialLower returns a builder for lower-envelope devices.
+func NewTrivialLower(l clockfn.Fn) Builder {
+	return func(self string, neighbors []string) timedsim.Device {
+		return &trivialDevice{l: l}
+	}
+}
+
+func (d *trivialDevice) Init(self string, neighbors []string) {}
+
+func (d *trivialDevice) Tick(k int, hw *big.Rat, inbox []timedsim.Message) []timedsim.Send {
+	return nil
+}
+
+func (d *trivialDevice) Logical(hw *big.Rat) float64 {
+	f, _ := hw.Float64()
+	return d.l.At(f)
+}
+
+func (d *trivialDevice) Snapshot() string { return "trivial" }
+
+// chaseDevice broadcasts its hardware reading at every tick and keeps its
+// logical clock at l(hw + ahead), where ahead is the largest lead it has
+// ever observed a neighbor to have. Synchronizing with the fastest
+// neighbor is exactly the behavior Theorem 8's induction exploits: around
+// the ring each node believes its predecessor is ahead, and the
+// accumulated lead blows through the upper envelope.
+type chaseDevice struct {
+	self  string
+	nbs   []string
+	l     clockfn.Fn
+	ahead *big.Rat
+}
+
+var _ timedsim.Device = (*chaseDevice)(nil)
+
+// NewChaseMax returns a builder for chase-the-fastest devices.
+func NewChaseMax(l clockfn.Fn) Builder {
+	return func(self string, neighbors []string) timedsim.Device {
+		d := &chaseDevice{l: l}
+		d.Init(self, neighbors)
+		return d
+	}
+}
+
+func (d *chaseDevice) Init(self string, neighbors []string) {
+	d.self = self
+	d.nbs = append([]string(nil), neighbors...)
+	sort.Strings(d.nbs)
+	d.ahead = new(big.Rat)
+}
+
+func (d *chaseDevice) Tick(k int, hw *big.Rat, inbox []timedsim.Message) []timedsim.Send {
+	for _, m := range inbox {
+		reported, ok := new(big.Rat).SetString(m.Payload)
+		if !ok {
+			continue
+		}
+		// The neighbor's reading was taken at its send time, which is
+		// earlier than now; treating it as current only underestimates
+		// the lead, keeping the device conservative.
+		lead := new(big.Rat).Sub(reported, hw)
+		if lead.Cmp(d.ahead) > 0 {
+			d.ahead.Set(lead)
+		}
+	}
+	out := make([]timedsim.Send, 0, len(d.nbs))
+	effective := new(big.Rat).Add(hw, d.ahead)
+	for _, nb := range d.nbs {
+		out = append(out, timedsim.Send{To: nb, Payload: effective.RatString()})
+	}
+	return out
+}
+
+func (d *chaseDevice) Logical(hw *big.Rat) float64 {
+	eff := new(big.Rat).Add(hw, d.ahead)
+	f, _ := eff.Float64()
+	return d.l.At(f)
+}
+
+func (d *chaseDevice) Snapshot() string {
+	return fmt.Sprintf("chase(ahead=%s)", d.ahead.RatString())
+}
+
+// trimmedDevice is the fault-tolerant variant: it moves its correction
+// halfway toward the MEDIAN of its neighbors' last readings after
+// discarding the f most extreme on each side, so up to f Byzantine
+// neighbors cannot drag it outside the correct readings' range. On
+// adequate graphs this beats the trivial l(q)-l(p) synchronization —
+// which Theorem 8 only forbids on inadequate ones.
+type trimmedDevice struct {
+	self string
+	nbs  []string
+	l    clockfn.Fn
+	f    int
+	corr *big.Rat
+	last map[string]*big.Rat
+}
+
+var _ timedsim.Device = (*trimmedDevice)(nil)
+
+// NewTrimmedMidpoint returns a builder for trimmed-median averaging
+// devices tolerating f Byzantine neighbors.
+func NewTrimmedMidpoint(l clockfn.Fn, f int) Builder {
+	return func(self string, neighbors []string) timedsim.Device {
+		d := &trimmedDevice{l: l, f: f}
+		d.Init(self, neighbors)
+		return d
+	}
+}
+
+func (d *trimmedDevice) Init(self string, neighbors []string) {
+	d.self = self
+	d.nbs = append([]string(nil), neighbors...)
+	sort.Strings(d.nbs)
+	d.corr = new(big.Rat)
+	d.last = make(map[string]*big.Rat, len(d.nbs))
+}
+
+func (d *trimmedDevice) Tick(k int, hw *big.Rat, inbox []timedsim.Message) []timedsim.Send {
+	for _, m := range inbox {
+		if reported, ok := new(big.Rat).SetString(m.Payload); ok {
+			d.last[m.From] = reported
+		}
+	}
+	var readings []*big.Rat
+	for _, nb := range d.nbs {
+		if v, ok := d.last[nb]; ok {
+			readings = append(readings, v)
+		}
+	}
+	if len(readings) > 2*d.f {
+		sort.Slice(readings, func(i, j int) bool { return readings[i].Cmp(readings[j]) < 0 })
+		trimmed := readings[d.f : len(readings)-d.f]
+		median := trimmed[len(trimmed)/2]
+		own := new(big.Rat).Add(hw, d.corr)
+		adj := new(big.Rat).Sub(median, own)
+		adj.Quo(adj, big.NewRat(2, 1))
+		d.corr.Add(d.corr, adj)
+	}
+	own := new(big.Rat).Add(hw, d.corr)
+	out := make([]timedsim.Send, 0, len(d.nbs))
+	for _, nb := range d.nbs {
+		out = append(out, timedsim.Send{To: nb, Payload: own.RatString()})
+	}
+	return out
+}
+
+func (d *trimmedDevice) Logical(hw *big.Rat) float64 {
+	eff := new(big.Rat).Add(hw, d.corr)
+	f, _ := eff.Float64()
+	return d.l.At(f)
+}
+
+func (d *trimmedDevice) Snapshot() string {
+	keys := make([]string, 0, len(d.last))
+	for k := range d.last {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("trim(f=%d,corr=%s)", d.f, d.corr.RatString())
+	for _, k := range keys {
+		s += "|" + k + "=" + d.last[k].RatString()
+	}
+	return s
+}
+
+// midpointDevice averages: it broadcasts its corrected reading each tick
+// and moves its correction halfway toward the midpoint of the extreme
+// neighbor readings.
+type midpointDevice struct {
+	self string
+	nbs  []string
+	l    clockfn.Fn
+	corr *big.Rat
+	last map[string]*big.Rat
+}
+
+var _ timedsim.Device = (*midpointDevice)(nil)
+
+// NewMidpoint returns a builder for midpoint-averaging devices.
+func NewMidpoint(l clockfn.Fn) Builder {
+	return func(self string, neighbors []string) timedsim.Device {
+		d := &midpointDevice{l: l}
+		d.Init(self, neighbors)
+		return d
+	}
+}
+
+func (d *midpointDevice) Init(self string, neighbors []string) {
+	d.self = self
+	d.nbs = append([]string(nil), neighbors...)
+	sort.Strings(d.nbs)
+	d.corr = new(big.Rat)
+	d.last = make(map[string]*big.Rat, len(d.nbs))
+}
+
+func (d *midpointDevice) Tick(k int, hw *big.Rat, inbox []timedsim.Message) []timedsim.Send {
+	for _, m := range inbox {
+		if reported, ok := new(big.Rat).SetString(m.Payload); ok {
+			d.last[m.From] = reported
+		}
+	}
+	if len(d.last) > 0 {
+		own := new(big.Rat).Add(hw, d.corr)
+		lo, hi := (*big.Rat)(nil), (*big.Rat)(nil)
+		for _, nb := range d.nbs {
+			v, ok := d.last[nb]
+			if !ok {
+				continue
+			}
+			if lo == nil || v.Cmp(lo) < 0 {
+				lo = v
+			}
+			if hi == nil || v.Cmp(hi) > 0 {
+				hi = v
+			}
+		}
+		if lo != nil {
+			mid := new(big.Rat).Add(lo, hi)
+			mid.Quo(mid, big.NewRat(2, 1))
+			adj := new(big.Rat).Sub(mid, own)
+			adj.Quo(adj, big.NewRat(2, 1))
+			d.corr.Add(d.corr, adj)
+		}
+	}
+	own := new(big.Rat).Add(hw, d.corr)
+	out := make([]timedsim.Send, 0, len(d.nbs))
+	for _, nb := range d.nbs {
+		out = append(out, timedsim.Send{To: nb, Payload: own.RatString()})
+	}
+	return out
+}
+
+func (d *midpointDevice) Logical(hw *big.Rat) float64 {
+	eff := new(big.Rat).Add(hw, d.corr)
+	f, _ := eff.Float64()
+	return d.l.At(f)
+}
+
+func (d *midpointDevice) Snapshot() string {
+	keys := make([]string, 0, len(d.last))
+	for k := range d.last {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("mid(corr=%s)", d.corr.RatString())
+	for _, k := range keys {
+		s += "|" + k + "=" + d.last[k].RatString()
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package clocksync
+
+import (
+	"testing"
+
+	"flm/internal/graph"
+)
+
+func TestTheorem8NodesTriangleSingletons(t *testing.T) {
+	// Singleton blocks on the triangle must reproduce the direct ring
+	// argument's defeat of every device.
+	params := stdParams(1.5)
+	g := graph.Triangle()
+	for name, builder := range map[string]Builder{
+		"trivial": NewTrivialLower(params.L),
+		"chase":   NewChaseMax(params.L),
+	} {
+		res, err := Theorem8Nodes(params, g, []int{0}, []int{1}, []int{2}, 1, triBuilders(builder))
+		if err != nil {
+			t.Fatalf("%s: engine error: %v", name, err)
+		}
+		if !res.Contradicted() {
+			t.Fatalf("%s survived the general node argument:\n%s", name, res)
+		}
+	}
+}
+
+func TestTheorem8NodesGeneralBlocks(t *testing.T) {
+	// K6 with f=2 and blocks of two nodes each.
+	params := stdParams(1.5)
+	g := graph.Complete(6)
+	builders := map[string]Builder{}
+	for _, name := range g.Names() {
+		builders[name] = NewChaseMax(params.L)
+	}
+	res, err := Theorem8Nodes(params, g, []int{0, 1}, []int{2, 3}, []int{4, 5}, 2, builders)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !res.Contradicted() {
+		t.Fatalf("chase survived on K6:\n%s", res)
+	}
+}
+
+func TestTheorem8NodesValidation(t *testing.T) {
+	params := stdParams(1.5)
+	g := graph.Complete(4) // n = 3f+1: adequate
+	if _, err := Theorem8Nodes(params, g, []int{0}, []int{1}, []int{2, 3}, 1,
+		map[string]Builder{}); err == nil {
+		t.Error("adequate graph accepted")
+	}
+	tri := graph.Triangle()
+	if _, err := Theorem8Nodes(params, tri, []int{0, 1}, []int{2}, nil, 1,
+		triBuilders(NewTrivialLower(params.L))); err == nil {
+		t.Error("empty block accepted")
+	}
+}
+
+func TestTheorem8ConnectivityDiamond(t *testing.T) {
+	params := stdParams(1.5)
+	g := graph.Diamond()
+	builders := map[string]Builder{}
+	for _, name := range g.Names() {
+		builders[name] = NewTrivialLower(params.L)
+	}
+	res, err := Theorem8Connectivity(params, g, []int{1}, []int{3}, 0, 2, 1, builders)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !res.Contradicted() {
+		t.Fatalf("trivial device survived the connectivity argument:\n%s", res)
+	}
+}
+
+func TestTheorem8ConnectivityChase(t *testing.T) {
+	params := stdParams(1.5)
+	g := graph.Diamond()
+	builders := map[string]Builder{}
+	for _, name := range g.Names() {
+		builders[name] = NewChaseMax(params.L)
+	}
+	res, err := Theorem8Connectivity(params, g, []int{1}, []int{3}, 0, 2, 1, builders)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !res.Contradicted() {
+		t.Fatalf("chase survived:\n%s", res)
+	}
+	// The chase device keeps neighbors tight, so the cascade must push
+	// someone through the envelope somewhere.
+	hasEnvelope := false
+	for _, v := range res.Violations {
+		if v.Condition == "envelope" {
+			hasEnvelope = true
+		}
+	}
+	if !hasEnvelope {
+		t.Errorf("no envelope violation: %v", res.Violations)
+	}
+}
+
+func TestTheorem8ConnectivityValidation(t *testing.T) {
+	params := stdParams(1.5)
+	g := graph.Diamond()
+	builders := triBuilders(NewTrivialLower(params.L))
+	if _, err := Theorem8Connectivity(params, g, []int{1, 2}, []int{3}, 0, 2, 1, builders); err == nil {
+		t.Error("oversized cut half accepted")
+	}
+	if _, err := Theorem8Connectivity(params, g, []int{1}, nil, 0, 2, 1, builders); err == nil {
+		t.Error("non-separating cut accepted")
+	}
+}

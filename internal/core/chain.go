@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// Violation records one broken correctness condition in one constructed
+// behavior of G.
+type Violation struct {
+	Link      string // which behavior in the chain, e.g. "E2"
+	Condition string // "termination", "agreement", "validity", "envelope", ...
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s violated: %s", v.Link, v.Condition, v.Detail)
+}
+
+// Link is one constructed correct behavior of G in a contradiction chain,
+// together with what the paper's argument expects of it.
+type Link struct {
+	Name    string   // E1, E2, ...
+	Splice  *Splice  // the constructed run of G
+	Expect  string   // human-readable statement of the forced conclusion
+	Correct []string // G-names of correct nodes
+	Faulty  []string // G-names of faulty nodes
+}
+
+// ChainResult is the outcome of running an impossibility argument against
+// concrete devices: the covering run, the chain of spliced behaviors, and
+// the violations found. The theorem guarantees Violations is non-empty;
+// an empty list is reported as an engine error by the per-theorem
+// drivers.
+type ChainResult struct {
+	Theorem    string // "Theorem 1 (nodes)", ...
+	Problem    string // "Byzantine agreement", ...
+	Device     string // description of the devices under test
+	F          int    // fault bound
+	G          *graph.Graph
+	CoverSize  int
+	RunS       *sim.Run
+	Links      []Link
+	Violations []Violation
+}
+
+// Contradicted reports whether the engine found at least one violated
+// condition — i.e. the devices failed, as the theorem requires.
+func (cr *ChainResult) Contradicted() bool { return len(cr.Violations) > 0 }
+
+// String renders the chain in the style of the paper's argument.
+func (cr *ChainResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s, f=%d, |G|=%d (inadequate), covering |S|=%d\n",
+		cr.Theorem, cr.Problem, cr.F, cr.G.N(), cr.CoverSize)
+	fmt.Fprintf(&b, "devices: %s\n", cr.Device)
+	for _, link := range cr.Links {
+		fmt.Fprintf(&b, "  %s: correct {%s}, faulty {%s} — expect %s\n",
+			link.Name, strings.Join(link.Correct, ","), strings.Join(link.Faulty, ","), link.Expect)
+	}
+	if len(cr.Violations) == 0 {
+		b.WriteString("  NO VIOLATION FOUND (engine error)\n")
+	}
+	for _, v := range cr.Violations {
+		fmt.Fprintf(&b, "  ** %s\n", v)
+	}
+	return b.String()
+}
+
+// addBAViolations evaluates Byzantine-agreement style conditions on a
+// spliced run and appends any violations. want is the decision forced by
+// validity ("" when only agreement/termination apply).
+func (cr *ChainResult) addBAViolations(linkName string, sp *Splice, want string) {
+	decided := map[string]string{}
+	for _, name := range sp.Correct {
+		d, err := sp.Run.DecisionOf(name)
+		if err != nil || d.Value == "" {
+			cr.Violations = append(cr.Violations, Violation{
+				Link: linkName, Condition: "termination",
+				Detail: fmt.Sprintf("correct node %s never decided", name),
+			})
+			continue
+		}
+		decided[name] = d.Value
+	}
+	first := ""
+	for _, name := range sp.Correct {
+		v, ok := decided[name]
+		if !ok {
+			continue
+		}
+		if first == "" {
+			first = v
+		} else if v != first {
+			cr.Violations = append(cr.Violations, Violation{
+				Link: linkName, Condition: "agreement",
+				Detail: fmt.Sprintf("correct nodes decided both %s and %s", first, v),
+			})
+			break
+		}
+	}
+	if want == "" {
+		return
+	}
+	for _, name := range sp.Correct {
+		if v, ok := decided[name]; ok && v != want {
+			cr.Violations = append(cr.Violations, Violation{
+				Link: linkName, Condition: "validity",
+				Detail: fmt.Sprintf("unanimous correct input %s but %s decided %s", want, name, v),
+			})
+			break
+		}
+	}
+}
+
+// copyInputs assigns the canonical two-copy inputs: every ".0" node gets
+// zero's encoding and every ".1" node gets one's.
+func copyInputs(s *graph.Graph, zero, one sim.Input) map[string]sim.Input {
+	inputs := make(map[string]sim.Input, s.N())
+	for _, name := range s.Names() {
+		if strings.HasSuffix(name, ".1") {
+			inputs[name] = one
+		} else {
+			inputs[name] = zero
+		}
+	}
+	return inputs
+}
+
+// namesOf maps node indices to names.
+func namesOf(g *graph.Graph, idx []int) []string {
+	names := make([]string, len(idx))
+	for i, u := range idx {
+		names[i] = g.Name(u)
+	}
+	return names
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// ByzantineNodes mechanizes the 3f+1 node bound of Theorem 1. The graph g
+// must have n <= 3f nodes, partitioned into non-empty blocks a, b, c of
+// size at most f. The devices (builders, keyed by node name) are
+// installed on the two-copy covering with the a-c edges crossed, copy 0
+// gets input 0 and copy 1 input 1, and the three scenarios of the paper
+// are spliced into behaviors E1, E2, E3 of g:
+//
+//	E1: blocks b,c correct with input 0, a faulty  -> validity forces 0
+//	E2: block c (copy 0) and a (copy 1) correct, b faulty -> agreement
+//	E3: blocks a,b correct with input 1, c faulty  -> validity forces 1
+//
+// E2 shares c's behavior with E1 and a's with E3, so if no condition
+// failed the a-nodes would have decided both 0 and 1. The engine reports
+// every condition that actually fails; at least one must.
+func ByzantineNodes(g *graph.Graph, f int, a, b, c []int, builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	if g.N() > 3*f {
+		return nil, fmt.Errorf("core: graph has %d > 3f = %d nodes; not inadequate by node count", g.N(), 3*f)
+	}
+	if len(a) > f || len(b) > f || len(c) > f {
+		return nil, fmt.Errorf("core: partition blocks must have at most f=%d nodes", f)
+	}
+	cover, err := graph.PartitionCover(g, a, b, c)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := InstallCover(cover, builders, copyInputs(cover.S, sim.BoolInput(false), sim.BoolInput(true)))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(rounds)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChainResult{
+		Theorem:   "Theorem 1 (3f+1 nodes)",
+		Problem:   "Byzantine agreement",
+		Device:    device,
+		F:         f,
+		G:         g,
+		CoverSize: cover.S.N(),
+		RunS:      runS,
+	}
+
+	n := g.N()
+	copy0 := func(nodes []int) []int { return append([]int(nil), nodes...) }
+	copy1 := func(nodes []int) []int {
+		shifted := make([]int, len(nodes))
+		for i, u := range nodes {
+			shifted[i] = u + n
+		}
+		return shifted
+	}
+	scenarios := []struct {
+		name   string
+		u      []int
+		want   string
+		expect string
+	}{
+		{"E1", append(copy0(b), copy0(c)...), "0", "validity forces all correct nodes to choose 0"},
+		{"E2", append(copy0(c), copy1(a)...), "", "agreement chains c's choice (0) to a's"},
+		{"E3", append(copy1(a), copy1(b)...), "1", "validity forces all correct nodes to choose 1"},
+	}
+	for _, sc := range scenarios {
+		sp, err := SpliceScenario(inst, runS, sc.u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: sc.name, Splice: sp, Expect: sc.expect,
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		cr.addBAViolations(sc.name, sp, sc.want)
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: no condition violated across E1,E2,E3 — impossible (engine or device-determinism bug):\n%s", cr)
+	}
+	return cr, nil
+}
+
+// ByzantineTriangle runs the f=1 triangle case of the node bound — the
+// paper's hexagon argument — against devices for nodes a, b, c.
+func ByzantineTriangle(builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	return ByzantineNodes(graph.Triangle(), 1, []int{0}, []int{1}, []int{2}, builders, device, rounds)
+}
+
+// ByzantineConnectivity mechanizes the 2f+1 connectivity bound of
+// Theorem 1. The node sets bSet and dSet (each of size at most f) must
+// disconnect uNode from vNode. With a = the component of uNode after the
+// cut is removed and c = the rest, the devices are installed on the
+// two-copy covering with the a-d edges crossed (copy 0 input 0, copy 1
+// input 1) and the paper's three scenarios are spliced:
+//
+//	E1 = S1: a,b,c correct with input 0, d faulty -> validity forces 0
+//	E2 = S2: c,d (copy 0) and a (copy 1) correct, b faulty -> agreement
+//	E3 = S3: a,b,c (copy 1) correct with input 1, d faulty -> validity forces 1
+func ByzantineConnectivity(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode int, builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	if len(bSet) > f || len(dSet) > f {
+		return nil, fmt.Errorf("core: cut halves must have at most f=%d nodes", f)
+	}
+	cover, err := graph.CutCover(g, bSet, dSet, uNode, vNode)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := InstallCover(cover, builders, copyInputs(cover.S, sim.BoolInput(false), sim.BoolInput(true)))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(rounds)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChainResult{
+		Theorem:   "Theorem 1 (2f+1 connectivity)",
+		Problem:   "Byzantine agreement",
+		Device:    device,
+		F:         f,
+		G:         g,
+		CoverSize: cover.S.N(),
+		RunS:      runS,
+	}
+
+	removed := append(append([]int(nil), bSet...), dSet...)
+	aSet := g.ComponentWithout(removed, uNode)
+	inAorCut := make(map[int]bool, g.N())
+	for _, x := range aSet {
+		inAorCut[x] = true
+	}
+	for _, x := range removed {
+		inAorCut[x] = true
+	}
+	var cSet []int
+	for x := 0; x < g.N(); x++ {
+		if !inAorCut[x] {
+			cSet = append(cSet, x)
+		}
+	}
+	n := g.N()
+	shift := func(nodes []int, by int) []int {
+		out := make([]int, len(nodes))
+		for i, u := range nodes {
+			out[i] = u + by
+		}
+		return out
+	}
+	concat := func(parts ...[]int) []int {
+		var out []int
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	scenarios := []struct {
+		name   string
+		u      []int
+		want   string
+		expect string
+	}{
+		{"E1", concat(aSet, bSet, cSet), "0", "validity forces all correct nodes to choose 0"},
+		{"E2", concat(cSet, dSet, shift(aSet, n)), "", "agreement chains c's choice (0) through d to a's"},
+		{"E3", concat(shift(aSet, n), shift(bSet, n), shift(cSet, n)), "1", "validity forces all correct nodes to choose 1"},
+	}
+	for _, sc := range scenarios {
+		sp, err := SpliceScenario(inst, runS, sc.u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: sc.name, Splice: sp, Expect: sc.expect,
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		cr.addBAViolations(sc.name, sp, sc.want)
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: no condition violated across S1,S2,S3 — impossible (engine or device-determinism bug):\n%s", cr)
+	}
+	return cr, nil
+}
+
+// ByzantineDiamond runs the f=1 connectivity case on the paper's
+// four-node diamond graph (connectivity 2, cut {b,d}).
+func ByzantineDiamond(builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	g := graph.Diamond()
+	return ByzantineConnectivity(g, 1, []int{1}, []int{3}, 0, 2, builders, device, rounds)
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flm/internal/byzantine"
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// trianglePanel returns candidate BA device panels for the triangle: each
+// entry claims to solve Byzantine agreement with f=1 on three nodes,
+// which Theorem 1 forbids.
+func trianglePanel() map[string]sim.Builder {
+	peers := []string{"a", "b", "c"}
+	return map[string]sim.Builder{
+		"majority":  byzantine.NewMajority(2),
+		"echo":      byzantine.NewEcho(2),
+		"own-input": byzantine.NewOwnInput(2),
+		"const-0":   byzantine.NewConstant("0", 2),
+		"const-1":   byzantine.NewConstant("1", 2),
+		"eig":       byzantine.NewEIG(1, peers),
+		"phaseking": byzantine.NewPhaseKing(1, peers),
+	}
+}
+
+func uniformBuilders(g *graph.Graph, b sim.Builder) map[string]sim.Builder {
+	m := make(map[string]sim.Builder, g.N())
+	for _, name := range g.Names() {
+		m[name] = b
+	}
+	return m
+}
+
+func TestByzantineTriangleDefeatsEveryDevice(t *testing.T) {
+	g := graph.Triangle()
+	for name, builder := range trianglePanel() {
+		t.Run(name, func(t *testing.T) {
+			cr, err := ByzantineTriangle(uniformBuilders(g, builder), name, 8)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			if !cr.Contradicted() {
+				t.Fatalf("device %s survived the hexagon argument:\n%s", name, cr)
+			}
+			if len(cr.Links) != 3 {
+				t.Errorf("chain has %d links, want 3", len(cr.Links))
+			}
+			if cr.CoverSize != 6 {
+				t.Errorf("cover size %d, want 6 (hexagon)", cr.CoverSize)
+			}
+		})
+	}
+}
+
+// The violations must be the ones the paper's argument predicts for the
+// canonical devices.
+func TestByzantineTriangleViolationShapes(t *testing.T) {
+	g := graph.Triangle()
+	tests := []struct {
+		device        string
+		builder       sim.Builder
+		wantCondition string
+		wantLink      string
+	}{
+		// Constant 0 satisfies agreement everywhere but breaks validity
+		// in E3 (unanimous 1).
+		{"const-0", byzantine.NewConstant("0", 2), "validity", "E3"},
+		// Constant 1 breaks validity in E1 (unanimous 0).
+		{"const-1", byzantine.NewConstant("1", 2), "validity", "E1"},
+		// Own-input satisfies both validity links and breaks agreement
+		// in the mixed scenario E2.
+		{"own-input", byzantine.NewOwnInput(2), "agreement", "E2"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.device, func(t *testing.T) {
+			cr, err := ByzantineTriangle(uniformBuilders(g, tt.builder), tt.device, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, v := range cr.Violations {
+				if v.Condition == tt.wantCondition && v.Link == tt.wantLink {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("want %s violation in %s, got %v", tt.wantCondition, tt.wantLink, cr.Violations)
+			}
+		})
+	}
+}
+
+func TestByzantineNodesGeneralCase(t *testing.T) {
+	// K6 with f=2: blocks of two nodes each. EIG for f=2 on six nodes
+	// claims to tolerate two faults; 6 <= 3f, so the engine must defeat
+	// it.
+	g := graph.Complete(6)
+	builder := byzantine.NewEIG(2, g.Names())
+	cr, err := ByzantineNodes(g, 2, []int{0, 1}, []int{2, 3}, []int{4, 5},
+		uniformBuilders(g, builder), "eig-f2", byzantine.EIGRounds(2)+2)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("EIG f=2 survived on K6:\n%s", cr)
+	}
+	if cr.CoverSize != 12 {
+		t.Errorf("cover size %d, want 12", cr.CoverSize)
+	}
+}
+
+func TestByzantineNodesUnevenPartition(t *testing.T) {
+	// K5 with f=2 and blocks of sizes 2,2,1.
+	g := graph.Complete(5)
+	builder := byzantine.NewEIG(2, g.Names())
+	cr, err := ByzantineNodes(g, 2, []int{0, 1}, []int{2, 3}, []int{4},
+		uniformBuilders(g, builder), "eig-f2", byzantine.EIGRounds(2)+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("device survived on K5 with f=2:\n%s", cr)
+	}
+}
+
+func TestByzantineNodesRejectsAdequateGraph(t *testing.T) {
+	g := graph.Complete(4) // n = 3f+1: not inadequate by node count
+	builder := byzantine.NewMajority(2)
+	if _, err := ByzantineNodes(g, 1, []int{0}, []int{1}, []int{2, 3},
+		uniformBuilders(g, builder), "majority", 6); err == nil {
+		t.Error("engine accepted an adequate graph")
+	}
+}
+
+func TestByzantineNodesRejectsOversizedBlocks(t *testing.T) {
+	g := graph.Triangle()
+	builder := byzantine.NewMajority(2)
+	if _, err := ByzantineNodes(g, 1, []int{0, 1}, []int{2}, nil,
+		uniformBuilders(g, builder), "majority", 6); err == nil {
+		t.Error("engine accepted a block larger than f")
+	}
+}
+
+func TestByzantineDiamondDefeatsEveryDevice(t *testing.T) {
+	g := graph.Diamond()
+	panel := map[string]sim.Builder{
+		"majority":  byzantine.NewMajority(3),
+		"echo":      byzantine.NewEcho(3),
+		"own-input": byzantine.NewOwnInput(3),
+		"const-0":   byzantine.NewConstant("0", 3),
+	}
+	for name, builder := range panel {
+		t.Run(name, func(t *testing.T) {
+			cr, err := ByzantineDiamond(uniformBuilders(g, builder), name, 10)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			if !cr.Contradicted() {
+				t.Fatalf("device %s survived the diamond argument:\n%s", name, cr)
+			}
+			if cr.CoverSize != 8 {
+				t.Errorf("cover size %d, want 8", cr.CoverSize)
+			}
+		})
+	}
+}
+
+func TestByzantineConnectivityGeneralCase(t *testing.T) {
+	// Circulant(10,{1,2}) has connectivity 4 = 2f for f=2; the cut
+	// {1,2,8,9} separates node 0 from node 5.
+	g := graph.Circulant(10, 1, 2)
+	builder := byzantine.NewEIG(2, g.Names()) // EIG misapplied to a sparse graph
+	cr, err := ByzantineConnectivity(g, 2, []int{1, 9}, []int{2, 8}, 0, 5,
+		uniformBuilders(g, builder), "eig-f2", byzantine.EIGRounds(2)+4)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("device survived the connectivity argument:\n%s", cr)
+	}
+}
+
+func TestByzantineConnectivityRejectsNonCut(t *testing.T) {
+	g := graph.Complete(4) // no 2-node cut separates anything
+	builder := byzantine.NewMajority(2)
+	if _, err := ByzantineConnectivity(g, 1, []int{1}, []int{3}, 0, 2,
+		uniformBuilders(g, builder), "majority", 6); err == nil {
+		t.Error("engine accepted a non-separating cut")
+	}
+}
+
+func TestChainResultString(t *testing.T) {
+	g := graph.Triangle()
+	cr, err := ByzantineTriangle(uniformBuilders(g, byzantine.NewMajority(2)), "majority", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cr.String()
+	for _, want := range []string{"Theorem 1", "E1", "E2", "E3", "majority", "**"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chain rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The splice's Locality self-check must hold on every link: decisions of
+// S-nodes and their spliced G-images coincide.
+func TestSpliceDecisionConsistency(t *testing.T) {
+	g := graph.Triangle()
+	cr, err := ByzantineTriangle(uniformBuilders(g, byzantine.NewMajority(2)), "majority", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, link := range cr.Links {
+		for _, sName := range link.Splice.UNodes {
+			dG, err := link.Splice.DecisionOfS(sName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dS, err := cr.RunS.DecisionOf(sName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dG.Value != dS.Value {
+				t.Errorf("%s: S-node %s decided %q in S but its image decided %q in G",
+					link.Name, sName, dS.Value, dG.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"flm/internal/firingsquad"
+	"flm/internal/graph"
+	"flm/internal/sim"
+	"flm/internal/weak"
+)
+
+// baseSplice wraps an ordinary (non-spliced) run of G as a pseudo-splice
+// so base behaviors can appear as chain links.
+func baseSplice(run *sim.Run) *Splice {
+	return &Splice{Run: run, Correct: run.G.Names()}
+}
+
+// runTriangle executes the all-correct triangle with a uniform input.
+func runTriangle(builders map[string]sim.Builder, input sim.Input, rounds int) (*sim.Run, error) {
+	g := graph.Triangle()
+	p := sim.Protocol{Builders: builders, Inputs: map[string]sim.Input{}}
+	for _, name := range g.Names() {
+		p.Inputs[name] = input
+	}
+	sys, err := sim.NewSystem(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Execute(sys, rounds)
+}
+
+// ringArcInputs assigns input one to ring nodes 0..2k-1 and zero to
+// 2k..4k-1 (the paper's half-and-half assignment).
+func ringArcInputs(s *graph.Graph, k int, one, zero sim.Input) map[string]sim.Input {
+	inputs := make(map[string]sim.Input, s.N())
+	for i := 0; i < s.N(); i++ {
+		if i < 2*k {
+			inputs[s.Name(i)] = one
+		} else {
+			inputs[s.Name(i)] = zero
+		}
+	}
+	return inputs
+}
+
+// chooseK returns the smallest multiple of 3 strictly greater than
+// horizonRound — the paper's "choose k > t'/δ, a multiple of 3" with
+// δ = one round.
+func chooseK(horizonRound int) int {
+	k := horizonRound + 1
+	for k%3 != 0 {
+		k++
+	}
+	return k
+}
+
+// WeakAgreementRing mechanizes Theorem 2 for the triangle: weak agreement
+// devices A, B, C are run on the all-0 and all-1 correct triangles to
+// find the decision horizon t'; they are then installed on the 4k-ring
+// covering (k > t', one semicircle input 1, the other 0). Every adjacent
+// pair of ring nodes splices into a correct one-fault behavior of the
+// triangle, so agreement chains all 4k choices together — but Lemma 3
+// (verified on the run: information moves one edge per round) forces the
+// middle of the 0-arc to choose 0 and the middle of the 1-arc to choose
+// 1. The engine locates the adjacent pair whose spliced behavior breaks
+// agreement (or the base/choice condition that failed earlier).
+func WeakAgreementRing(builders map[string]sim.Builder, device string, horizon int) (*ChainResult, error) {
+	cr := &ChainResult{
+		Theorem: "Theorem 2 (weak agreement)",
+		Problem: "weak Byzantine agreement",
+		Device:  device,
+		F:       1,
+		G:       graph.Triangle(),
+	}
+	// Base behaviors: all correct, unanimous inputs.
+	base := make(map[string]*sim.Run, 2)
+	tPrime := 0
+	for _, bit := range []string{"0", "1"} {
+		run, err := runTriangle(builders, sim.Input(bit), horizon)
+		if err != nil {
+			return nil, err
+		}
+		base[bit] = run
+		name := "B" + bit
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: baseSplice(run),
+			Expect:  fmt.Sprintf("all-correct unanimous %s: choice + validity force %s", bit, bit),
+			Correct: run.G.Names(),
+		})
+		rep := weak.Check(run, run.G.Names(), true)
+		if rep.Choice != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "choice", Detail: rep.Choice.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+		for _, nodeName := range run.G.Names() {
+			if d, _ := run.DecisionOf(nodeName); d.Round > tPrime {
+				tPrime = d.Round
+			}
+		}
+	}
+	if cr.Contradicted() {
+		return cr, nil // not even a weak agreement device in fault-free runs
+	}
+	k := chooseK(tPrime)
+	m := 4 * k
+	if horizon <= tPrime+1 {
+		return nil, fmt.Errorf("core: horizon %d too small for decision round %d", horizon, tPrime)
+	}
+	cover := graph.RingCoverTriangle(m)
+	inst, err := InstallCover(cover, builders, ringArcInputs(cover.S, k, "1", "0"))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(horizon)
+	if err != nil {
+		return nil, err
+	}
+	cr.RunS = runS
+	cr.CoverSize = m
+
+	// Bounded-Delay self-check (Lemma 3): the middles of the arcs are at
+	// distance >= k from any opposite input, so their behaviors track
+	// the unanimous base runs for at least k rounds, and k > t' means
+	// they inherit the base decisions.
+	if err := checkArcMiddles(cr, runS, cover, base, k, map[string]string{"1": "1", "0": "0"}); err != nil {
+		return nil, err
+	}
+
+	// Splice every adjacent pair into a correct one-fault behavior.
+	for i := 0; i < m; i++ {
+		j := (i + 1) % m
+		name := fmt.Sprintf("E%d", i)
+		sp, err := SpliceScenario(inst, runS, []int{i, j}, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  "the two correct nodes must agree",
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := weak.Check(sp.Run, sp.Correct, false)
+		if rep.Choice != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "choice", Detail: rep.Choice.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: ring of %d chained to agreement yet arc middles differ — impossible:\n%s", m, cr)
+	}
+	return cr, nil
+}
+
+// checkArcMiddles verifies Lemma 3 numerically: the middle node of each
+// arc must have a snapshot prefix identical to its triangle image in the
+// matching unanimous base run for at least k rounds, and must have
+// inherited that run's decision. A failure is a simulator bug, not a
+// device failure, so it is returned as an error.
+func checkArcMiddles(cr *ChainResult, runS *sim.Run, cover *graph.Cover, base map[string]*sim.Run, k int, wantByArc map[string]string) error {
+	mids := map[string]int{"1": k, "0": 3 * k} // middle of the 1-arc and 0-arc
+	for bit, mid := range mids {
+		sName := cover.S.Name(mid)
+		gName := cover.G.Name(cover.Phi[mid])
+		div, err := sim.PrefixEqual(runS, sName, base[bit], gName)
+		if err != nil {
+			return err
+		}
+		if div < k && div < runS.Rounds {
+			return fmt.Errorf("core: Lemma 3 violated: ring node %s diverged from base-%s %s at round %d < k=%d",
+				sName, bit, gName, div, k)
+		}
+		dS, err := runS.DecisionOf(sName)
+		if err != nil {
+			return err
+		}
+		want := wantByArc[bit]
+		if want != "" && dS.Value != want {
+			return fmt.Errorf("core: ring node %s decided %q, want %q from the base-%s run", sName, dS.Value, want, bit)
+		}
+	}
+	return nil
+}
+
+// FiringSquadRing mechanizes Theorem 4 for the triangle. The all-correct
+// stimulated triangle fixes the fire time t; the devices then run on the
+// 4k-ring covering (k > t) with the stimulus delivered to one
+// semicircle. The middle of the stimulated arc fires at t, the middle of
+// the quiet arc cannot have fired by then (its behavior tracks the
+// no-stimulus run), and every adjacent pair is a correct one-fault
+// behavior of the triangle in which firing must be simultaneous — so
+// some pair's spliced behavior breaks the agreement condition.
+func FiringSquadRing(builders map[string]sim.Builder, device string, horizon int) (*ChainResult, error) {
+	cr := &ChainResult{
+		Theorem: "Theorem 4 (Byzantine firing squad)",
+		Problem: "Byzantine firing squad",
+		Device:  device,
+		F:       1,
+		G:       graph.Triangle(),
+	}
+	base := make(map[string]*sim.Run, 2)
+	fireTime := -1
+	for _, bit := range []string{"0", "1"} {
+		run, err := runTriangle(builders, sim.Input(bit), horizon)
+		if err != nil {
+			return nil, err
+		}
+		base[bit] = run
+		name := "B" + bit
+		stimulated := bit == "1"
+		expect := "no stimulus and all correct: nobody fires"
+		if stimulated {
+			expect = "stimulus everywhere and all correct: everyone fires, simultaneously"
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: baseSplice(run), Expect: expect, Correct: run.G.Names(),
+		})
+		rep := firingsquad.Check(run, run.G.Names(), true, stimulated)
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+		if stimulated {
+			for _, nodeName := range run.G.Names() {
+				if d, _ := run.DecisionOf(nodeName); d.Value == firingsquad.Fired && d.Round > fireTime {
+					fireTime = d.Round
+				}
+			}
+		}
+	}
+	if cr.Contradicted() {
+		return cr, nil
+	}
+	k := chooseK(fireTime)
+	m := 4 * k
+	if horizon <= fireTime+1 {
+		return nil, fmt.Errorf("core: horizon %d too small for fire time %d", horizon, fireTime)
+	}
+	cover := graph.RingCoverTriangle(m)
+	inst, err := InstallCover(cover, builders, ringArcInputs(cover.S, k, "1", "0"))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(horizon)
+	if err != nil {
+		return nil, err
+	}
+	cr.RunS = runS
+	cr.CoverSize = m
+
+	if err := checkArcMiddles(cr, runS, cover, base, k,
+		map[string]string{"1": firingsquad.Fired, "0": ""}); err != nil {
+		return nil, err
+	}
+	// The quiet arc's middle tracked the no-stimulus run through round
+	// k-1, so it cannot have fired before round k (while the stimulated
+	// middle fired at t < k).
+	if d, _ := runS.DecisionOf(cover.S.Name(3 * k)); d.Value == firingsquad.Fired && d.Round < k {
+		return nil, fmt.Errorf("core: quiet-arc middle fired at %d < k=%d despite tracking the no-stimulus run", d.Round, k)
+	}
+
+	for i := 0; i < m; i++ {
+		j := (i + 1) % m
+		name := fmt.Sprintf("E%d", i)
+		sp, err := SpliceScenario(inst, runS, []int{i, j}, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  "the two correct nodes fire simultaneously or not at all",
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := firingsquad.Check(sp.Run, sp.Correct, false, false)
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: every adjacent pair fired in lockstep yet the arcs differ — impossible:\n%s", cr)
+	}
+	return cr, nil
+}

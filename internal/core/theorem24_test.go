@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flm/internal/byzantine"
+	"flm/internal/firingsquad"
+	"flm/internal/graph"
+	"flm/internal/sim"
+	"flm/internal/weak"
+)
+
+func TestWeakAgreementRingDefeatsEveryDevice(t *testing.T) {
+	g := graph.Triangle()
+	peers := g.Names()
+	panel := map[string]sim.Builder{
+		"detect-default": weak.NewDetectDefault(3),
+		"detect-slow":    weak.NewDetectDefault(5),
+		"via-eig":        weak.NewViaBA(1, peers),
+		"majority":       byzantine.NewMajority(2),
+		"own-input":      byzantine.NewOwnInput(2),
+	}
+	for name, builder := range panel {
+		t.Run(name, func(t *testing.T) {
+			cr, err := WeakAgreementRing(uniformBuilders(g, builder), name, 16)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			if !cr.Contradicted() {
+				t.Fatalf("device %s survived Theorem 2:\n%s", name, cr)
+			}
+		})
+	}
+}
+
+// Devices that pass the fault-free base runs must be defeated on the ring
+// itself: the violation must come from a spliced one-fault pair, and the
+// covering must have size 4k.
+func TestWeakAgreementRingViolationComesFromRing(t *testing.T) {
+	g := graph.Triangle()
+	cr, err := WeakAgreementRing(uniformBuilders(g, weak.NewDetectDefault(3)), "detect-default", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.CoverSize == 0 || cr.CoverSize%4 != 0 || (cr.CoverSize/4)%3 != 0 {
+		t.Errorf("cover size %d is not 4k with k a multiple of 3", cr.CoverSize)
+	}
+	for _, v := range cr.Violations {
+		if strings.HasPrefix(v.Link, "B") {
+			t.Errorf("violation in base run %s: %s (device should pass fault-free runs)", v.Link, v.Detail)
+		}
+		if v.Condition != "agreement" && v.Condition != "choice" {
+			t.Errorf("unexpected condition %q in %s", v.Condition, v.Link)
+		}
+	}
+}
+
+// A device that is not even a weak agreement device fault-free (constant
+// 0 violates validity on the unanimous-1 run) must be caught in the base
+// links without building the ring.
+func TestWeakAgreementRingCatchesBaseValidity(t *testing.T) {
+	g := graph.Triangle()
+	cr, err := WeakAgreementRing(uniformBuilders(g, byzantine.NewConstant("0", 2)), "const-0", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range cr.Violations {
+		if v.Link == "B1" && v.Condition == "validity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("constant-0 not caught in base run B1: %v", cr.Violations)
+	}
+}
+
+func TestWeakAgreementRingChoiceViolation(t *testing.T) {
+	g := graph.Triangle()
+	cr, err := WeakAgreementRing(uniformBuilders(g, weak.NewDetectDefault(50)), "too-slow", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Contradicted() {
+		t.Fatal("never-deciding device survived")
+	}
+	if cr.Violations[0].Condition != "choice" {
+		t.Errorf("want choice violation first, got %v", cr.Violations[0])
+	}
+}
+
+func TestFiringSquadRingDefeatsEveryDevice(t *testing.T) {
+	g := graph.Triangle()
+	panel := map[string]sim.Builder{
+		"countdown-2": firingsquad.NewCountdown(2),
+		"countdown-4": firingsquad.NewCountdown(4),
+		"via-eig":     firingsquad.NewViaBA(1, g.Names()),
+	}
+	for name, builder := range panel {
+		t.Run(name, func(t *testing.T) {
+			cr, err := FiringSquadRing(uniformBuilders(g, builder), name, 20)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			if !cr.Contradicted() {
+				t.Fatalf("device %s survived Theorem 4:\n%s", name, cr)
+			}
+		})
+	}
+}
+
+func TestFiringSquadRingViolationShape(t *testing.T) {
+	g := graph.Triangle()
+	cr, err := FiringSquadRing(uniformBuilders(g, firingsquad.NewCountdown(2)), "countdown-2", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringViolation := false
+	for _, v := range cr.Violations {
+		if strings.HasPrefix(v.Link, "E") && v.Condition == "agreement" {
+			ringViolation = true
+		}
+	}
+	if !ringViolation {
+		t.Errorf("no simultaneity violation on the ring: %v", cr.Violations)
+	}
+}
+
+func TestFiringSquadRingCatchesBrokenBase(t *testing.T) {
+	// A device that never fires violates base validity (stimulated run).
+	g := graph.Triangle()
+	cr, err := FiringSquadRing(uniformBuilders(g, firingsquad.NewCountdown(100)), "dud", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range cr.Violations {
+		if v.Link == "B1" && v.Condition == "validity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dud not caught in base run: %v", cr.Violations)
+	}
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+
+	"flm/internal/approx"
+	"flm/internal/firingsquad"
+	"flm/internal/graph"
+	"flm/internal/sim"
+	"flm/internal/weak"
+)
+
+// This file mechanizes the connectivity halves of Theorems 2 and 4 ("the
+// general case of |G| <= 3f and the connectivity bound follow as for
+// Byzantine agreement"): for a graph with a 2f-node cut {b,d} separating
+// u from v, the devices are installed on the m-copy cyclic cut covering
+// — a ring of copies with the a-d edges crossed between consecutive
+// copies — with one semicircle of copies stimulated/holding input 1 and
+// the other input 0. Every copy yields two spliceable scenarios,
+//
+//	X_i = copy i without its d-nodes   (d faulty, masquerading from the
+//	                                    two neighboring copies)
+//	Y_i = copy i's c∪d plus copy i-1's a-nodes  (b faulty)
+//
+// whose consecutive overlaps chain every node's choice together, while
+// the Bounded-Delay axiom keeps the middle copies tracking the unanimous
+// base runs. As in the node-bound case, some link must break.
+
+// runGraphUniform executes the all-correct system on g with one input
+// everywhere.
+func runGraphUniform(g *graph.Graph, builders map[string]sim.Builder, input sim.Input, rounds int) (*sim.Run, error) {
+	p := sim.Protocol{Builders: builders, Inputs: map[string]sim.Input{}}
+	for _, name := range g.Names() {
+		p.Inputs[name] = input
+	}
+	sys, err := sim.NewSystem(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Execute(sys, rounds)
+}
+
+// copyInputsRing assigns input one to copies 0..m/2-1 and zero to the
+// rest.
+func copyInputsRing(s *graph.Graph, n, m int, one, zero sim.Input) map[string]sim.Input {
+	inputs := make(map[string]sim.Input, s.N())
+	for i := 0; i < s.N(); i++ {
+		if i/n < m/2 {
+			inputs[s.Name(i)] = one
+		} else {
+			inputs[s.Name(i)] = zero
+		}
+	}
+	return inputs
+}
+
+// cutRingScenarios enumerates the 2m spliceable scenarios around the
+// ring of copies.
+func cutRingScenarios(g *graph.Graph, m int, aSet, cSet, dSet []int) [][]int {
+	n := g.N()
+	inD := make(map[int]bool, len(dSet))
+	for _, x := range dSet {
+		inD[x] = true
+	}
+	var scenarios [][]int
+	for i := 0; i < m; i++ {
+		var x []int
+		for node := 0; node < n; node++ {
+			if !inD[node] {
+				x = append(x, i*n+node)
+			}
+		}
+		var y []int
+		for _, node := range cSet {
+			y = append(y, i*n+node)
+		}
+		for _, node := range dSet {
+			y = append(y, i*n+node)
+		}
+		prev := (i - 1 + m) % m
+		for _, node := range aSet {
+			y = append(y, prev*n+node)
+		}
+		scenarios = append(scenarios, x, y)
+	}
+	return scenarios
+}
+
+// cutSets recomputes the a/c partition induced by the cut.
+func cutSets(g *graph.Graph, bSet, dSet []int, uNode int) (aSet, cSet []int) {
+	removed := append(append([]int(nil), bSet...), dSet...)
+	aSet = g.ComponentWithout(removed, uNode)
+	inAorCut := make(map[int]bool, g.N())
+	for _, x := range aSet {
+		inAorCut[x] = true
+	}
+	for _, x := range removed {
+		inAorCut[x] = true
+	}
+	for x := 0; x < g.N(); x++ {
+		if !inAorCut[x] {
+			cSet = append(cSet, x)
+		}
+	}
+	return aSet, cSet
+}
+
+// WeakAgreementCutRing mechanizes the connectivity half of Theorem 2:
+// weak agreement is impossible on a graph with a cut of size <= 2f. The
+// horizon must cover the base decision round plus the ring transit.
+func WeakAgreementCutRing(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode int, builders map[string]sim.Builder, device string, horizon int) (*ChainResult, error) {
+	if len(bSet) > f || len(dSet) > f {
+		return nil, fmt.Errorf("core: cut halves must have at most f=%d nodes", f)
+	}
+	cr := &ChainResult{
+		Theorem: "Theorem 2 (weak agreement, 2f+1 connectivity)",
+		Problem: "weak Byzantine agreement",
+		Device:  device,
+		F:       f,
+		G:       g,
+	}
+	base := make(map[string]*sim.Run, 2)
+	tPrime := 0
+	for _, bit := range []string{"0", "1"} {
+		run, err := runGraphUniform(g, builders, sim.Input(bit), horizon)
+		if err != nil {
+			return nil, err
+		}
+		base[bit] = run
+		name := "B" + bit
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: baseSplice(run),
+			Expect:  fmt.Sprintf("all-correct unanimous %s: choice + validity force %s", bit, bit),
+			Correct: run.G.Names(),
+		})
+		rep := weak.Check(run, run.G.Names(), true)
+		if rep.Choice != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "choice", Detail: rep.Choice.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+		for _, nodeName := range run.G.Names() {
+			if d, _ := run.DecisionOf(nodeName); d.Round > tPrime {
+				tPrime = d.Round
+			}
+		}
+	}
+	if cr.Contradicted() {
+		return cr, nil
+	}
+	k := tPrime + 1
+	m := 4 * k // ring of copies; halves of 2k copies each
+	if horizon <= tPrime+1 {
+		return nil, fmt.Errorf("core: horizon %d too small for decision round %d", horizon, tPrime)
+	}
+	cover, err := graph.CyclicCutCover(g, bSet, dSet, uNode, vNode, m)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := InstallCover(cover, builders, copyInputsRing(cover.S, g.N(), m, "1", "0"))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(horizon)
+	if err != nil {
+		return nil, err
+	}
+	cr.RunS = runS
+	cr.CoverSize = cover.S.N()
+
+	if err := checkCopyMiddles(runS, cover, base, g, m, k, map[string]string{"1": "1", "0": "0"}); err != nil {
+		return nil, err
+	}
+
+	aSet, cSet := cutSets(g, bSet, dSet, uNode)
+	for idx, u := range cutRingScenarios(g, m, aSet, cSet, dSet) {
+		name := fmt.Sprintf("E%d", idx)
+		sp, err := SpliceScenario(inst, runS, u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  "all correct nodes in this one-fault behavior must agree",
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := weak.Check(sp.Run, sp.Correct, false)
+		if rep.Choice != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "choice", Detail: rep.Choice.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: ring of %d copies chained to agreement yet the halves differ — impossible:\n%s", m, cr)
+	}
+	return cr, nil
+}
+
+// checkCopyMiddles verifies the Bounded-Delay self-check for the
+// ring-of-copies construction: every node of the middle copy of each
+// half must track the matching unanimous base run for at least k rounds
+// (information needs one round per copy crossing) and inherit its
+// decision.
+func checkCopyMiddles(runS *sim.Run, cover *graph.Cover, base map[string]*sim.Run, g *graph.Graph, m, k int, wantByHalf map[string]string) error {
+	n := g.N()
+	mids := map[string]int{"1": k, "0": 3 * k} // middle copy of each half
+	for bit, copyID := range mids {
+		for x := 0; x < n; x++ {
+			sName := cover.S.Name(copyID*n + x)
+			gName := g.Name(x)
+			div, err := sim.PrefixEqual(runS, sName, base[bit], gName)
+			if err != nil {
+				return err
+			}
+			if div < k && div < runS.Rounds {
+				return fmt.Errorf("core: bounded-delay self-check: %s diverged from base-%s %s at round %d < k=%d",
+					sName, bit, gName, div, k)
+			}
+			want := wantByHalf[bit]
+			if want == "" {
+				continue
+			}
+			dS, err := runS.DecisionOf(sName)
+			if err != nil {
+				return err
+			}
+			if dS.Value != want {
+				return fmt.Errorf("core: middle-copy node %s decided %q, want %q from the base-%s run",
+					sName, dS.Value, want, bit)
+			}
+		}
+	}
+	return nil
+}
+
+// FiringSquadCutRing mechanizes the connectivity half of Theorem 4.
+func FiringSquadCutRing(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode int, builders map[string]sim.Builder, device string, horizon int) (*ChainResult, error) {
+	if len(bSet) > f || len(dSet) > f {
+		return nil, fmt.Errorf("core: cut halves must have at most f=%d nodes", f)
+	}
+	cr := &ChainResult{
+		Theorem: "Theorem 4 (firing squad, 2f+1 connectivity)",
+		Problem: "Byzantine firing squad",
+		Device:  device,
+		F:       f,
+		G:       g,
+	}
+	base := make(map[string]*sim.Run, 2)
+	fireTime := -1
+	for _, bit := range []string{"0", "1"} {
+		run, err := runGraphUniform(g, builders, sim.Input(bit), horizon)
+		if err != nil {
+			return nil, err
+		}
+		base[bit] = run
+		name := "B" + bit
+		stimulated := bit == "1"
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: baseSplice(run),
+			Expect:  "base validity: fire simultaneously iff stimulated",
+			Correct: run.G.Names(),
+		})
+		rep := firingsquad.Check(run, run.G.Names(), true, stimulated)
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+		if stimulated {
+			for _, nodeName := range run.G.Names() {
+				if d, _ := run.DecisionOf(nodeName); d.Value == firingsquad.Fired && d.Round > fireTime {
+					fireTime = d.Round
+				}
+			}
+		}
+	}
+	if cr.Contradicted() {
+		return cr, nil
+	}
+	k := fireTime + 1
+	m := 4 * k
+	if horizon <= fireTime+1 {
+		return nil, fmt.Errorf("core: horizon %d too small for fire time %d", horizon, fireTime)
+	}
+	cover, err := graph.CyclicCutCover(g, bSet, dSet, uNode, vNode, m)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := InstallCover(cover, builders, copyInputsRing(cover.S, g.N(), m, "1", "0"))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(horizon)
+	if err != nil {
+		return nil, err
+	}
+	cr.RunS = runS
+	cr.CoverSize = cover.S.N()
+
+	if err := checkCopyMiddles(runS, cover, base, g, m, k,
+		map[string]string{"1": firingsquad.Fired, "0": ""}); err != nil {
+		return nil, err
+	}
+
+	aSet, cSet := cutSets(g, bSet, dSet, uNode)
+	for idx, u := range cutRingScenarios(g, m, aSet, cSet, dSet) {
+		name := fmt.Sprintf("E%d", idx)
+		sp, err := SpliceScenario(inst, runS, u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  "correct nodes fire simultaneously or not at all",
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := firingsquad.Check(sp.Run, sp.Correct, false, false)
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: copies chained to simultaneity yet the halves differ — impossible:\n%s", cr)
+	}
+	return cr, nil
+}
+
+// SimpleApproxConnectivity mechanizes the connectivity half of Theorem 5
+// (same structure as the Byzantine case, approximate conditions).
+func SimpleApproxConnectivity(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode int, builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	if len(bSet) > f || len(dSet) > f {
+		return nil, fmt.Errorf("core: cut halves must have at most f=%d nodes", f)
+	}
+	cover, err := graph.CutCover(g, bSet, dSet, uNode, vNode)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := InstallCover(cover, builders, copyInputs(cover.S, sim.RealInput(0), sim.RealInput(1)))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(rounds)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChainResult{
+		Theorem:   "Theorem 5 (2f+1 connectivity)",
+		Problem:   "simple approximate agreement",
+		Device:    device,
+		F:         f,
+		G:         g,
+		CoverSize: cover.S.N(),
+		RunS:      runS,
+	}
+	aSet, cSet := cutSets(g, bSet, dSet, uNode)
+	n := g.N()
+	shift := func(nodes []int, by int) []int {
+		out := make([]int, len(nodes))
+		for i, u := range nodes {
+			out[i] = u + by
+		}
+		return out
+	}
+	concat := func(parts ...[]int) []int {
+		var out []int
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	scenarios := []struct {
+		name   string
+		u      []int
+		expect string
+	}{
+		{"E1", concat(aSet, bSet, cSet), "validity pins every choice to 0"},
+		{"E2", concat(cSet, dSet, shift(aSet, n)), "choices strictly closer than the inputs (1 apart)"},
+		{"E3", concat(shift(aSet, n), shift(bSet, n), shift(cSet, n)), "validity pins every choice to 1"},
+	}
+	for _, sc := range scenarios {
+		sp, err := SpliceScenario(inst, runS, sc.u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: sc.name, Splice: sp, Expect: sc.expect,
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := approx.CheckSimple(sp.Run, sp.Correct)
+		cr.addApproxViolations(sc.name, rep)
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: no condition violated across E1,E2,E3 — impossible:\n%s", cr)
+	}
+	return cr, nil
+}

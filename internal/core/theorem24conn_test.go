@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flm/internal/approx"
+	"flm/internal/byzantine"
+	"flm/internal/firingsquad"
+	"flm/internal/graph"
+	"flm/internal/sim"
+	"flm/internal/weak"
+)
+
+func TestWeakAgreementCutRingDefeatsDevices(t *testing.T) {
+	g := graph.Diamond()
+	panel := map[string]sim.Builder{
+		"detect-default": weak.NewDetectDefault(4),
+		"majority":       byzantine.NewMajority(3),
+	}
+	for name, builder := range panel {
+		t.Run(name, func(t *testing.T) {
+			cr, err := WeakAgreementCutRing(g, 1, []int{1}, []int{3}, 0, 2,
+				uniformBuilders(g, builder), name, 20)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			if !cr.Contradicted() {
+				t.Fatalf("device %s survived the connectivity argument:\n%s", name, cr)
+			}
+			// Violations must come from the ring scenarios, not the base
+			// runs (these devices pass fault-free unanimous runs).
+			for _, v := range cr.Violations {
+				if strings.HasPrefix(v.Link, "B") {
+					t.Errorf("violation in base run: %v", v)
+				}
+			}
+		})
+	}
+}
+
+func TestWeakAgreementCutRingShape(t *testing.T) {
+	g := graph.Diamond()
+	cr, err := WeakAgreementCutRing(g, 1, []int{1}, []int{3}, 0, 2,
+		uniformBuilders(g, weak.NewDetectDefault(4)), "detect-default", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cover is m copies of the 4-node diamond with m = 4k.
+	if cr.CoverSize%16 != 0 {
+		t.Errorf("cover size %d is not 4k copies of 4 nodes", cr.CoverSize)
+	}
+	m := cr.CoverSize / 4
+	// 2 base links + 2m ring links.
+	if len(cr.Links) != 2+2*m {
+		t.Errorf("links = %d, want %d", len(cr.Links), 2+2*m)
+	}
+	// Every ring link has at most f=1 faulty G-node set (b or d).
+	for _, link := range cr.Links[2:] {
+		if len(link.Faulty) != 1 {
+			t.Errorf("%s has faulty set %v, want exactly one node", link.Name, link.Faulty)
+		}
+	}
+}
+
+func TestWeakAgreementCutRingRejectsOversizedCut(t *testing.T) {
+	g := graph.Diamond()
+	if _, err := WeakAgreementCutRing(g, 1, []int{1, 2}, []int{3}, 0, 2,
+		uniformBuilders(g, weak.NewDetectDefault(4)), "x", 20); err == nil {
+		t.Error("oversized cut half accepted")
+	}
+}
+
+func TestFiringSquadCutRingDefeatsDevices(t *testing.T) {
+	g := graph.Diamond()
+	panel := map[string]sim.Builder{
+		"countdown-2": firingsquad.NewCountdown(2),
+		"countdown-5": firingsquad.NewCountdown(5),
+	}
+	for name, builder := range panel {
+		t.Run(name, func(t *testing.T) {
+			cr, err := FiringSquadCutRing(g, 1, []int{1}, []int{3}, 0, 2,
+				uniformBuilders(g, builder), name, 30)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			if !cr.Contradicted() {
+				t.Fatalf("device %s survived:\n%s", name, cr)
+			}
+			simultaneity := false
+			for _, v := range cr.Violations {
+				if strings.HasPrefix(v.Link, "E") && v.Condition == "agreement" {
+					simultaneity = true
+				}
+			}
+			if !simultaneity {
+				t.Errorf("no simultaneity violation on the ring: %v", cr.Violations)
+			}
+		})
+	}
+}
+
+func TestFiringSquadCutRingCatchesDud(t *testing.T) {
+	g := graph.Diamond()
+	cr, err := FiringSquadCutRing(g, 1, []int{1}, []int{3}, 0, 2,
+		uniformBuilders(g, firingsquad.NewCountdown(100)), "dud", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Contradicted() || cr.Violations[0].Link != "B1" {
+		t.Errorf("dud not caught in base run: %v", cr.Violations)
+	}
+}
+
+func TestSimpleApproxConnectivityDefeatsDevices(t *testing.T) {
+	g := graph.Diamond()
+	panel := map[string]sim.Builder{
+		"median":  approx.NewMedian(3),
+		"dlpsw-4": approx.NewDLPSW(1, g.Names(), 4),
+	}
+	for name, builder := range panel {
+		t.Run(name, func(t *testing.T) {
+			cr, err := SimpleApproxConnectivity(g, 1, []int{1}, []int{3}, 0, 2,
+				uniformBuilders(g, builder), name, 12)
+			if err != nil {
+				t.Fatalf("engine error: %v", err)
+			}
+			if !cr.Contradicted() {
+				t.Fatalf("device %s survived:\n%s", name, cr)
+			}
+			if cr.CoverSize != 8 {
+				t.Errorf("cover size %d, want 8", cr.CoverSize)
+			}
+		})
+	}
+}
+
+func TestSimpleApproxConnectivityLargerGraph(t *testing.T) {
+	// Circulant(10;1,2) with f=2: cut {1,2,8,9} separates 0 from 5.
+	g := graph.Circulant(10, 1, 2)
+	cr, err := SimpleApproxConnectivity(g, 2, []int{1, 9}, []int{2, 8}, 0, 5,
+		uniformBuilders(g, approx.NewMedian(3)), "median", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("median survived on the circulant:\n%s", cr)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"flm/internal/firingsquad"
+	"flm/internal/graph"
+	"flm/internal/sim"
+	"flm/internal/weak"
+)
+
+// This file generalizes the 4k-ring arguments of Theorems 2 and 4 from
+// the triangle to arbitrary graphs with n <= 3f nodes ("the case for
+// general f follows immediately, just as above"): partition the nodes
+// into blocks a, b, c of size <= f, build the M-copy cyclic covering
+// with the a-c edges crossed (a ring of blocks ...a_i b_i c_i a_{i+1}...),
+// give half the copies input 1 and half input 0, and splice the three
+// block-pair scenarios of every copy:
+//
+//	P1_i = a_i ∪ b_i      (c faulty: faces c_{i+1} toward a, c_i toward b)
+//	P2_i = b_i ∪ c_i      (a faulty: faces a_i toward b, a_{i-1} toward c)
+//	P3_i = a_i ∪ c_{i+1}  (b faulty: faces b_i toward a, b_{i+1} toward c)
+//
+// Consecutive scenarios overlap in a whole block, chaining every node's
+// choice, while the Bounded-Delay axiom pins the middle copies to the
+// unanimous base runs.
+
+// blockRingScenarios enumerates the 3M block-pair scenarios.
+func blockRingScenarios(g *graph.Graph, m int, aSet, bSet, cSet []int) [][]int {
+	n := g.N()
+	at := func(nodes []int, copyID int) []int {
+		out := make([]int, len(nodes))
+		for i, x := range nodes {
+			out[i] = ((copyID%m)+m)%m*n + x
+		}
+		return out
+	}
+	var scenarios [][]int
+	for i := 0; i < m; i++ {
+		scenarios = append(scenarios,
+			append(at(aSet, i), at(bSet, i)...),
+			append(at(bSet, i), at(cSet, i)...),
+			append(at(aSet, i), at(cSet, i+1)...),
+		)
+	}
+	return scenarios
+}
+
+// buildBlockRing validates the partition and constructs the M-copy
+// covering installation with half-and-half inputs.
+func buildBlockRing(g *graph.Graph, f int, aSet, bSet, cSet []int, m int, builders map[string]sim.Builder) (*Installation, error) {
+	if g.N() > 3*f {
+		return nil, fmt.Errorf("core: graph has %d > 3f = %d nodes; not inadequate by node count", g.N(), 3*f)
+	}
+	if len(aSet) > f || len(bSet) > f || len(cSet) > f {
+		return nil, fmt.Errorf("core: partition blocks must have at most f=%d nodes", f)
+	}
+	if len(aSet) == 0 || len(bSet) == 0 || len(cSet) == 0 {
+		return nil, fmt.Errorf("core: partition blocks must be non-empty")
+	}
+	block := make([]int, g.N())
+	for i := range block {
+		block[i] = -1
+	}
+	for id, set := range [][]int{aSet, bSet, cSet} {
+		for _, x := range set {
+			if x < 0 || x >= g.N() || block[x] != -1 {
+				return nil, fmt.Errorf("core: invalid partition at node %d", x)
+			}
+			block[x] = id
+		}
+	}
+	for x, id := range block {
+		if id == -1 {
+			return nil, fmt.Errorf("core: node %s not covered by the partition", g.Name(x))
+		}
+	}
+	cover := graph.CyclicCover(g, func(u, v int) bool {
+		return block[u] == 0 && block[v] == 2
+	}, m)
+	if err := cover.Verify(); err != nil {
+		return nil, err
+	}
+	return InstallCover(cover, builders, copyInputsRing(cover.S, g.N(), m, "1", "0"))
+}
+
+// WeakAgreementNodesRing mechanizes the general node bound of Theorem 2:
+// weak agreement is impossible on any graph with n <= 3f nodes.
+func WeakAgreementNodesRing(g *graph.Graph, f int, aSet, bSet, cSet []int, builders map[string]sim.Builder, device string, horizon int) (*ChainResult, error) {
+	cr := &ChainResult{
+		Theorem: "Theorem 2 (weak agreement, 3f+1 nodes, general case)",
+		Problem: "weak Byzantine agreement",
+		Device:  device,
+		F:       f,
+		G:       g,
+	}
+	base := make(map[string]*sim.Run, 2)
+	tPrime := 0
+	for _, bit := range []string{"0", "1"} {
+		run, err := runGraphUniform(g, builders, sim.Input(bit), horizon)
+		if err != nil {
+			return nil, err
+		}
+		base[bit] = run
+		name := "B" + bit
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: baseSplice(run),
+			Expect:  fmt.Sprintf("all-correct unanimous %s: choice + validity force %s", bit, bit),
+			Correct: run.G.Names(),
+		})
+		rep := weak.Check(run, run.G.Names(), true)
+		if rep.Choice != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "choice", Detail: rep.Choice.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+		for _, nodeName := range run.G.Names() {
+			if d, _ := run.DecisionOf(nodeName); d.Round > tPrime {
+				tPrime = d.Round
+			}
+		}
+	}
+	if cr.Contradicted() {
+		return cr, nil
+	}
+	k := tPrime + 1
+	m := 4 * k
+	if horizon <= tPrime+1 {
+		return nil, fmt.Errorf("core: horizon %d too small for decision round %d", horizon, tPrime)
+	}
+	inst, err := buildBlockRing(g, f, aSet, bSet, cSet, m, builders)
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(horizon)
+	if err != nil {
+		return nil, err
+	}
+	cr.RunS = runS
+	cr.CoverSize = inst.Cover.S.N()
+
+	if err := checkCopyMiddles(runS, inst.Cover, base, g, m, k, map[string]string{"1": "1", "0": "0"}); err != nil {
+		return nil, err
+	}
+	for idx, u := range blockRingScenarios(g, m, aSet, bSet, cSet) {
+		name := fmt.Sprintf("E%d", idx)
+		sp, err := SpliceScenario(inst, runS, u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  "all correct nodes in this one-block-fault behavior must agree",
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := weak.Check(sp.Run, sp.Correct, false)
+		if rep.Choice != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "choice", Detail: rep.Choice.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: block ring chained to agreement yet the halves differ — impossible:\n%s", cr)
+	}
+	return cr, nil
+}
+
+// FiringSquadNodesRing mechanizes the general node bound of Theorem 4.
+func FiringSquadNodesRing(g *graph.Graph, f int, aSet, bSet, cSet []int, builders map[string]sim.Builder, device string, horizon int) (*ChainResult, error) {
+	cr := &ChainResult{
+		Theorem: "Theorem 4 (firing squad, 3f+1 nodes, general case)",
+		Problem: "Byzantine firing squad",
+		Device:  device,
+		F:       f,
+		G:       g,
+	}
+	base := make(map[string]*sim.Run, 2)
+	fireTime := -1
+	for _, bit := range []string{"0", "1"} {
+		run, err := runGraphUniform(g, builders, sim.Input(bit), horizon)
+		if err != nil {
+			return nil, err
+		}
+		base[bit] = run
+		name := "B" + bit
+		stimulated := bit == "1"
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: baseSplice(run),
+			Expect:  "base validity: fire simultaneously iff stimulated",
+			Correct: run.G.Names(),
+		})
+		rep := firingsquad.Check(run, run.G.Names(), true, stimulated)
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+		if stimulated {
+			for _, nodeName := range run.G.Names() {
+				if d, _ := run.DecisionOf(nodeName); d.Value == firingsquad.Fired && d.Round > fireTime {
+					fireTime = d.Round
+				}
+			}
+		}
+	}
+	if cr.Contradicted() {
+		return cr, nil
+	}
+	k := fireTime + 1
+	m := 4 * k
+	if horizon <= fireTime+1 {
+		return nil, fmt.Errorf("core: horizon %d too small for fire time %d", horizon, fireTime)
+	}
+	inst, err := buildBlockRing(g, f, aSet, bSet, cSet, m, builders)
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(horizon)
+	if err != nil {
+		return nil, err
+	}
+	cr.RunS = runS
+	cr.CoverSize = inst.Cover.S.N()
+
+	if err := checkCopyMiddles(runS, inst.Cover, base, g, m, k,
+		map[string]string{"1": firingsquad.Fired, "0": ""}); err != nil {
+		return nil, err
+	}
+	for idx, u := range blockRingScenarios(g, m, aSet, bSet, cSet) {
+		name := fmt.Sprintf("E%d", idx)
+		sp, err := SpliceScenario(inst, runS, u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  "correct nodes fire simultaneously or not at all",
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := firingsquad.Check(sp.Run, sp.Correct, false, false)
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: block ring chained to simultaneity yet the halves differ — impossible:\n%s", cr)
+	}
+	return cr, nil
+}

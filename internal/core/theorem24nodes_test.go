@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flm/internal/byzantine"
+	"flm/internal/firingsquad"
+	"flm/internal/graph"
+	"flm/internal/weak"
+)
+
+func TestWeakAgreementNodesRingTriangleEquivalent(t *testing.T) {
+	// With singleton blocks on the triangle, the block ring reduces to
+	// the direct ring argument and must defeat the same devices.
+	g := graph.Triangle()
+	cr, err := WeakAgreementNodesRing(g, 1, []int{0}, []int{1}, []int{2},
+		uniformBuilders(g, weak.NewDetectDefault(3)), "detect-default", 16)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("device survived:\n%s", cr)
+	}
+}
+
+func TestWeakAgreementNodesRingGeneralCase(t *testing.T) {
+	// K6 with f=2: blocks of two nodes each.
+	g := graph.Complete(6)
+	cr, err := WeakAgreementNodesRing(g, 2, []int{0, 1}, []int{2, 3}, []int{4, 5},
+		uniformBuilders(g, weak.NewDetectDefault(3)), "detect-default", 16)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("device survived on K6:\n%s", cr)
+	}
+	for _, v := range cr.Violations {
+		if strings.HasPrefix(v.Link, "B") {
+			t.Errorf("violation in base run: %v", v)
+		}
+	}
+	// Every ring scenario's faulty set is one block (<= f nodes).
+	for _, link := range cr.Links[2:] {
+		if len(link.Faulty) > 2 {
+			t.Errorf("%s has %d faulty nodes, want <= f=2", link.Name, len(link.Faulty))
+		}
+	}
+}
+
+func TestWeakAgreementNodesRingUnevenBlocks(t *testing.T) {
+	g := graph.Complete(5)
+	cr, err := WeakAgreementNodesRing(g, 2, []int{0, 1}, []int{2, 3}, []int{4},
+		uniformBuilders(g, byzantine.NewMajority(3)), "majority", 16)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("majority survived on K5:\n%s", cr)
+	}
+}
+
+func TestWeakAgreementNodesRingValidation(t *testing.T) {
+	g := graph.Complete(4) // n = 3f+1: adequate
+	if _, err := WeakAgreementNodesRing(g, 1, []int{0}, []int{1}, []int{2, 3},
+		uniformBuilders(g, weak.NewDetectDefault(3)), "x", 12); err == nil {
+		t.Error("adequate graph accepted")
+	}
+	tri := graph.Triangle()
+	if _, err := WeakAgreementNodesRing(tri, 1, []int{0, 1}, []int{2}, nil,
+		uniformBuilders(tri, weak.NewDetectDefault(3)), "x", 12); err == nil {
+		t.Error("empty block accepted")
+	}
+	if _, err := WeakAgreementNodesRing(tri, 1, []int{0}, []int{0, 1}, []int{2},
+		uniformBuilders(tri, weak.NewDetectDefault(3)), "x", 12); err == nil {
+		t.Error("overlapping blocks accepted")
+	}
+}
+
+func TestFiringSquadNodesRingGeneralCase(t *testing.T) {
+	g := graph.Complete(6)
+	cr, err := FiringSquadNodesRing(g, 2, []int{0, 1}, []int{2, 3}, []int{4, 5},
+		uniformBuilders(g, firingsquad.NewCountdown(2)), "countdown-2", 24)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("countdown survived on K6:\n%s", cr)
+	}
+	simultaneity := false
+	for _, v := range cr.Violations {
+		if strings.HasPrefix(v.Link, "E") && v.Condition == "agreement" {
+			simultaneity = true
+		}
+	}
+	if !simultaneity {
+		t.Errorf("no simultaneity violation: %v", cr.Violations)
+	}
+}
+
+func TestFiringSquadNodesRingViaEIG(t *testing.T) {
+	// The EIG-based firing squad misapplied at n = 3f.
+	g := graph.Triangle()
+	cr, err := FiringSquadNodesRing(g, 1, []int{0}, []int{1}, []int{2},
+		uniformBuilders(g, firingsquad.NewViaBA(1, g.Names())), "via-eig", 24)
+	if err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if !cr.Contradicted() {
+		t.Fatalf("via-eig survived:\n%s", cr)
+	}
+}

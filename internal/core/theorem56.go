@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flm/internal/approx"
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// SimpleApproxNodes mechanizes Theorem 5 (simple approximate agreement
+// needs 3f+1 nodes). The construction is exactly the Byzantine one — the
+// two-copy covering with inputs 0 and 1 — but the evaluated conditions
+// are the approximate ones:
+//
+//	E1: blocks b,c correct, inputs all 0 -> validity forces every choice to 0
+//	E2: c (copy 0) and a (copy 1) correct -> choices strictly closer than 1 apart
+//	E3: blocks a,b correct, inputs all 1 -> validity forces every choice to 1
+//
+// If E1 and E3 hold, the choices in E2 are 0 and 1, no closer than the
+// inputs — violating the strict-contraction agreement condition.
+func SimpleApproxNodes(g *graph.Graph, f int, a, b, c []int, builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	if g.N() > 3*f {
+		return nil, fmt.Errorf("core: graph has %d > 3f = %d nodes; not inadequate by node count", g.N(), 3*f)
+	}
+	cover, err := graph.PartitionCover(g, a, b, c)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := InstallCover(cover, builders, copyInputs(cover.S, sim.RealInput(0), sim.RealInput(1)))
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(rounds)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChainResult{
+		Theorem:   "Theorem 5 (3f+1 nodes)",
+		Problem:   "simple approximate agreement",
+		Device:    device,
+		F:         f,
+		G:         g,
+		CoverSize: cover.S.N(),
+		RunS:      runS,
+	}
+	n := g.N()
+	shift := func(nodes []int) []int {
+		out := make([]int, len(nodes))
+		for i, u := range nodes {
+			out[i] = u + n
+		}
+		return out
+	}
+	scenarios := []struct {
+		name   string
+		u      []int
+		expect string
+	}{
+		{"E1", append(append([]int(nil), b...), c...), "validity pins every choice to 0"},
+		{"E2", append(append([]int(nil), c...), shift(a)...), "choices must be strictly closer than the inputs (1 apart)"},
+		{"E3", append(shift(a), shift(b)...), "validity pins every choice to 1"},
+	}
+	for _, sc := range scenarios {
+		sp, err := SpliceScenario(inst, runS, sc.u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: sc.name, Splice: sp, Expect: sc.expect,
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := approx.CheckSimple(sp.Run, sp.Correct)
+		cr.addApproxViolations(sc.name, rep)
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: no condition violated across E1,E2,E3 — impossible:\n%s", cr)
+	}
+	return cr, nil
+}
+
+// SimpleApproxTriangle runs the f=1 hexagon case of Theorem 5.
+func SimpleApproxTriangle(builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	return SimpleApproxNodes(graph.Triangle(), 1, []int{0}, []int{1}, []int{2}, builders, device, rounds)
+}
+
+func (cr *ChainResult) addApproxViolations(linkName string, rep approx.SimpleReport) {
+	if rep.Termination != nil {
+		cr.Violations = append(cr.Violations, Violation{
+			Link: linkName, Condition: "termination", Detail: rep.Termination.Error(),
+		})
+	}
+	if rep.Agreement != nil {
+		cr.Violations = append(cr.Violations, Violation{
+			Link: linkName, Condition: "agreement", Detail: rep.Agreement.Error(),
+		})
+	}
+	if rep.Validity != nil {
+		cr.Violations = append(cr.Violations, Violation{
+			Link: linkName, Condition: "validity", Detail: rep.Validity.Error(),
+		})
+	}
+}
+
+// EDGParams are the (ε,δ,γ)-agreement parameters; the theorem requires
+// eps < delta (otherwise choosing one's input solves the problem).
+type EDGParams struct {
+	Eps, Delta, Gamma float64
+}
+
+// RingSize returns the paper's choice of k for Theorem 6 — the smallest k
+// with delta > 2*gamma/(k-1) + eps and k+2 divisible by 3 — along with
+// the ring size k+2.
+func (p EDGParams) RingSize() (k, size int, err error) {
+	if p.Eps <= 0 || p.Delta <= 0 || p.Gamma <= 0 {
+		return 0, 0, fmt.Errorf("core: eps, delta, gamma must be positive")
+	}
+	if p.Eps >= p.Delta {
+		return 0, 0, fmt.Errorf("core: eps=%v >= delta=%v makes (ε,δ,γ)-agreement trivially solvable", p.Eps, p.Delta)
+	}
+	k = int(math.Ceil(2*p.Gamma/(p.Delta-p.Eps))) + 2
+	for (k+2)%3 != 0 || p.Delta <= 2*p.Gamma/float64(k-1)+p.Eps {
+		k++
+	}
+	return k, k + 2, nil
+}
+
+// EpsilonDeltaGamma mechanizes Theorem 6: (ε,δ,γ)-agreement with
+// eps < delta is impossible on the triangle (and hence on all inadequate
+// graphs). The devices are installed on a ring of k+2 nodes covering the
+// triangle, node i receiving input i*delta, and every adjacent pair
+// (i, i+1) is spliced into a correct behavior E_i of the triangle with
+// the third node faulty. Lemma 7's induction makes the conditions
+// collectively unsatisfiable: validity in E_0 bounds node 1's choice by
+// delta+gamma, each agreement link adds at most eps, and validity in E_k
+// demands at least k*delta-gamma.
+func EpsilonDeltaGamma(params EDGParams, builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	k, size, err := params.RingSize()
+	if err != nil {
+		return nil, err
+	}
+	cover := graph.RingCoverTriangle(size)
+	inputs := make(map[string]sim.Input, size)
+	for i := 0; i < size; i++ {
+		inputs[cover.S.Name(i)] = sim.RealInput(float64(i) * params.Delta)
+	}
+	inst, err := InstallCover(cover, builders, inputs)
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(rounds)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChainResult{
+		Theorem:   "Theorem 6 ((ε,δ,γ)-agreement)",
+		Problem:   fmt.Sprintf("(ε=%v, δ=%v, γ=%v)-agreement", params.Eps, params.Delta, params.Gamma),
+		Device:    device,
+		F:         1,
+		G:         cover.G,
+		CoverSize: size,
+		RunS:      runS,
+	}
+	for i := 0; i <= k; i++ {
+		name := fmt.Sprintf("S%d", i)
+		sp, err := SpliceScenario(inst, runS, []int{i, i + 1}, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  fmt.Sprintf("choices within ε of each other and within [%v-γ, %v+γ]", float64(i)*params.Delta, float64(i+1)*params.Delta),
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := approx.CheckEDG(sp.Run, sp.Correct, params.Eps, params.Gamma)
+		if rep.Termination != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "termination", Detail: rep.Termination.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: no condition violated across S0..S%d — impossible (Lemma 7 arithmetic):\n%s", k, cr)
+	}
+	return cr, nil
+}
+
+// EpsilonDeltaGammaNodes mechanizes the general node bound of Theorem 6
+// (n <= 3f): the devices run on the ring-of-blocks covering with k+2
+// positions (...a_i b_i c_i a_{i+1}..., the c-a edges crossed), position
+// j holding input j*delta, and every adjacent position pair splices into
+// a correct behavior whose inputs are at most delta apart. Lemma 7's
+// induction is unchanged.
+func EpsilonDeltaGammaNodes(params EDGParams, g *graph.Graph, f int, aSet, bSet, cSet []int, builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	if g.N() > 3*f {
+		return nil, fmt.Errorf("core: graph has %d > 3f = %d nodes; not inadequate by node count", g.N(), 3*f)
+	}
+	if len(aSet) > f || len(bSet) > f || len(cSet) > f ||
+		len(aSet) == 0 || len(bSet) == 0 || len(cSet) == 0 {
+		return nil, fmt.Errorf("core: partition blocks must be non-empty with at most f=%d nodes", f)
+	}
+	k, size, err := params.RingSize()
+	if err != nil {
+		return nil, err
+	}
+	block := make([]int, g.N())
+	for i := range block {
+		block[i] = -1
+	}
+	for id, set := range [][]int{aSet, bSet, cSet} {
+		for _, x := range set {
+			if x < 0 || x >= g.N() || block[x] != -1 {
+				return nil, fmt.Errorf("core: invalid partition at node %d", x)
+			}
+			block[x] = id
+		}
+	}
+	for x, id := range block {
+		if id == -1 {
+			return nil, fmt.Errorf("core: node %s not covered by the partition", g.Name(x))
+		}
+	}
+	copies := size / 3
+	cover := graph.CyclicCover(g, func(u, v int) bool {
+		return block[u] == 2 && block[v] == 0 // c_i -> a_(i+1): consecutive positions
+	}, copies)
+	n := g.N()
+	position := make([]int, cover.S.N())
+	members := make([][]int, size)
+	inputs := make(map[string]sim.Input, cover.S.N())
+	for i := range position {
+		position[i] = (i/n)*3 + block[i%n]
+		members[position[i]] = append(members[position[i]], i)
+		inputs[cover.S.Name(i)] = sim.RealInput(float64(position[i]) * params.Delta)
+	}
+	inst, err := InstallCover(cover, builders, inputs)
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(rounds)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChainResult{
+		Theorem:   "Theorem 6 ((ε,δ,γ)-agreement, 3f+1 nodes, general case)",
+		Problem:   fmt.Sprintf("(ε=%v, δ=%v, γ=%v)-agreement", params.Eps, params.Delta, params.Gamma),
+		Device:    device,
+		F:         f,
+		G:         g,
+		CoverSize: cover.S.N(),
+		RunS:      runS,
+	}
+	for j := 0; j <= k; j++ {
+		name := fmt.Sprintf("S%d", j)
+		u := append(append([]int(nil), members[j]...), members[j+1]...)
+		sp, err := SpliceScenario(inst, runS, u, builders)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  fmt.Sprintf("choices within ε and within γ of [%v, %v]", float64(j)*params.Delta, float64(j+1)*params.Delta),
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := approx.CheckEDG(sp.Run, sp.Correct, params.Eps, params.Gamma)
+		if rep.Termination != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "termination", Detail: rep.Termination.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: no condition violated across the block ring — impossible:\n%s", cr)
+	}
+	return cr, nil
+}
+
+// EpsilonDeltaGammaConnectivity mechanizes the connectivity bound of
+// Theorem 6: k+2 copies of a graph with a <=2f cut in a ring, copy i
+// holding input i*delta; the within-copy scenarios (X_i, d faulty) have
+// input spread 0 and the cross-copy scenarios (Y_i = c_i ∪ d_i ∪ a_{i-1},
+// b faulty) have spread exactly delta.
+func EpsilonDeltaGammaConnectivity(params EDGParams, g *graph.Graph, f int, bSet, dSet []int, uNode, vNode int, builders map[string]sim.Builder, device string, rounds int) (*ChainResult, error) {
+	if len(bSet) > f || len(dSet) > f {
+		return nil, fmt.Errorf("core: cut halves must have at most f=%d nodes", f)
+	}
+	k, size, err := params.RingSize()
+	if err != nil {
+		return nil, err
+	}
+	copies := size // one copy per ring position
+	cover, err := graph.CyclicCutCover(g, bSet, dSet, uNode, vNode, copies)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	inputs := make(map[string]sim.Input, cover.S.N())
+	for i := 0; i < cover.S.N(); i++ {
+		inputs[cover.S.Name(i)] = sim.RealInput(float64(i/n) * params.Delta)
+	}
+	inst, err := InstallCover(cover, builders, inputs)
+	if err != nil {
+		return nil, err
+	}
+	runS, err := inst.Execute(rounds)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ChainResult{
+		Theorem:   "Theorem 6 ((ε,δ,γ)-agreement, 2f+1 connectivity)",
+		Problem:   fmt.Sprintf("(ε=%v, δ=%v, γ=%v)-agreement", params.Eps, params.Delta, params.Gamma),
+		Device:    device,
+		F:         f,
+		G:         g,
+		CoverSize: cover.S.N(),
+		RunS:      runS,
+	}
+	aSet, cSet := cutSets(g, bSet, dSet, uNode)
+	inD := make(map[int]bool, len(dSet))
+	for _, x := range dSet {
+		inD[x] = true
+	}
+	evaluate := func(name string, u []int) error {
+		sp, err := SpliceScenario(inst, runS, u, builders)
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", name, err)
+		}
+		cr.Links = append(cr.Links, Link{
+			Name: name, Splice: sp,
+			Expect:  "choices within ε and within γ of the inputs",
+			Correct: sp.Correct, Faulty: sp.Faulty,
+		})
+		rep := approx.CheckEDG(sp.Run, sp.Correct, params.Eps, params.Gamma)
+		if rep.Termination != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "termination", Detail: rep.Termination.Error()})
+		}
+		if rep.Agreement != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "agreement", Detail: rep.Agreement.Error()})
+		}
+		if rep.Validity != nil {
+			cr.Violations = append(cr.Violations, Violation{Link: name, Condition: "validity", Detail: rep.Validity.Error()})
+		}
+		return nil
+	}
+	for i := 0; i <= k; i++ {
+		var x []int
+		for node := 0; node < n; node++ {
+			if !inD[node] {
+				x = append(x, i*n+node)
+			}
+		}
+		if err := evaluate(fmt.Sprintf("X%d", i), x); err != nil {
+			return nil, err
+		}
+		if i >= 1 {
+			var y []int
+			for _, node := range cSet {
+				y = append(y, i*n+node)
+			}
+			for _, node := range dSet {
+				y = append(y, i*n+node)
+			}
+			for _, node := range aSet {
+				y = append(y, (i-1)*n+node)
+			}
+			if err := evaluate(fmt.Sprintf("Y%d", i), y); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !cr.Contradicted() {
+		return cr, fmt.Errorf("core: no condition violated across the copy ring — impossible:\n%s", cr)
+	}
+	return cr, nil
+}
+
+// Lemma7Bounds returns, for each node i in 1..k+1, the ceiling that
+// Lemma 7's induction places on its choice (delta + gamma + (i-1)*eps)
+// and, for node k, the floor validity demands (k*delta - gamma). It is
+// exported so the experiment harness can print the induction table next
+// to the measured choices.
+func Lemma7Bounds(params EDGParams, k int) (ceilings []float64, floorAtK float64) {
+	ceilings = make([]float64, k+2)
+	for i := 1; i <= k+1; i++ {
+		ceilings[i] = params.Delta + params.Gamma + float64(i-1)*params.Eps
+	}
+	return ceilings, float64(k)*params.Delta - params.Gamma
+}

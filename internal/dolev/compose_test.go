@@ -1,0 +1,137 @@
+package dolev
+
+import (
+	"testing"
+
+	"flm/internal/adversary"
+	"flm/internal/approx"
+	"flm/internal/byzantine"
+	"flm/internal/firingsquad"
+	"flm/internal/graph"
+	"flm/internal/sim"
+	"flm/internal/weak"
+)
+
+// The overlay is protocol-agnostic: any complete-graph device runs over
+// the disjoint-path routing. These tests compose it with the approximate
+// agreement, weak agreement, and firing squad substrates on sparse
+// adequate graphs.
+
+func TestOverlayDLPSWOnWheel(t *testing.T) {
+	g := graph.Wheel(7) // connectivity 3 = 2f+1, n = 7 >= 3f+1 for f=1
+	r, err := NewRouter(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iterations = 6
+	honest := Overlay(r, approx.NewDLPSW(1, g.Names(), iterations))
+	inputs := map[string]sim.Input{}
+	for i, name := range g.Names() {
+		inputs[name] = sim.RealInput(float64(i) / 6)
+	}
+	for _, badNode := range []string{"w0", "w4"} {
+		for _, strat := range adversary.Panel(51) {
+			trial := byzantine.Trial{
+				G: g, Inputs: inputs, Honest: honest,
+				Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
+				Rounds: r.Rounds(approx.DLPSWRounds(iterations)),
+			}
+			run, correct, _, err := trial.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := approx.CheckEDG(run, correct, 0.05, 0)
+			if !rep.OK() {
+				t.Errorf("bad=%s strat=%s: %v", badNode, strat.Name, rep.Err())
+			}
+		}
+	}
+}
+
+func TestOverlayWeakAgreementOnHypercube(t *testing.T) {
+	g := graph.Hypercube(3) // connectivity 3, n = 8
+	r, err := NewRouter(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := Overlay(r, weak.NewViaBA(1, g.Names()))
+	for _, bits := range []int{0, 0xFF, 0x3C} {
+		inputs := map[string]sim.Input{}
+		for i, name := range g.Names() {
+			inputs[name] = sim.BoolInput(bits&(1<<uint(i)) != 0)
+		}
+		for _, strat := range adversary.Panel(53) {
+			trial := byzantine.Trial{
+				G: g, Inputs: inputs, Honest: honest,
+				Faulty: map[string]sim.Builder{"h5": strat.Corrupt(honest)},
+				Rounds: r.Rounds(byzantine.EIGRounds(1)),
+			}
+			run, correct, _, err := trial.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := weak.Check(run, correct, false)
+			if !rep.OK() {
+				t.Errorf("bits=%x strat=%s: %v", bits, strat.Name, rep.Err())
+			}
+		}
+	}
+}
+
+func TestOverlayFiringSquadOnCirculant(t *testing.T) {
+	g := graph.Circulant(7, 1, 2) // connectivity 4, n = 7
+	r, err := NewRouter(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := Overlay(r, firingsquad.NewViaBA(1, g.Names()))
+	for _, strat := range adversary.Panel(57) {
+		inputs := map[string]sim.Input{}
+		for _, name := range g.Names() {
+			inputs[name] = sim.BoolInput(name == "c2")
+		}
+		trial := byzantine.Trial{
+			G: g, Inputs: inputs, Honest: honest,
+			Faulty: map[string]sim.Builder{"c5": strat.Corrupt(honest)},
+			Rounds: r.Rounds(firingsquad.Rounds(1)),
+		}
+		run, correct, _, err := trial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With a fault, simultaneity binds; all correct must fire in
+		// lockstep or not at all.
+		rep := firingsquad.Check(run, correct, false, true)
+		if rep.Agreement != nil {
+			t.Errorf("strat=%s: %v", strat.Name, rep.Agreement)
+		}
+	}
+}
+
+func TestOverlayTurpinCoanOnWheel(t *testing.T) {
+	g := graph.Wheel(7)
+	r, err := NewRouter(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest := Overlay(r, byzantine.NewTurpinCoan(1, g.Names()))
+	inputs := map[string]sim.Input{}
+	vals := []string{"red", "green", "blue"}
+	for i, name := range g.Names() {
+		inputs[name] = sim.Input(vals[i%3])
+	}
+	for _, strat := range adversary.Panel(59) {
+		trial := byzantine.Trial{
+			G: g, Inputs: inputs, Honest: honest,
+			Faulty: map[string]sim.Builder{"w6": strat.Corrupt(honest)},
+			Rounds: r.Rounds(byzantine.TurpinCoanRounds(1)),
+		}
+		_, _, rep, err := trial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("strat=%s: %v", strat.Name, rep.Err())
+		}
+	}
+}

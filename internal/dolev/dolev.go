@@ -1,0 +1,331 @@
+// Package dolev implements reliable point-to-point communication over
+// incomplete graphs in the presence of Byzantine nodes, following Dolev's
+// "The Byzantine Generals Strike Again": a message from u to v is sent
+// along 2f+1 vertex-disjoint paths, so at most f copies pass through
+// faulty relays and the majority of path copies is authentic. An overlay
+// adapter runs any complete-graph agreement device (EIG, phase king, ...)
+// on top, which is how the 2f+1 connectivity bound of FLM85 is matched
+// from above.
+package dolev
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// Router holds the vertex-disjoint path tables for a graph and fault
+// bound. It is immutable after construction and shared by all overlay
+// devices.
+type Router struct {
+	g       *graph.Graph
+	f       int
+	paths   map[[2]int][][]int
+	maxHops int
+}
+
+// NewRouter computes 2f+1 vertex-disjoint paths for every ordered pair of
+// nodes. It fails if the graph's connectivity is below 2f+1 (Dolev's
+// requirement, and FLM85's lower bound).
+func NewRouter(g *graph.Graph, f int) (*Router, error) {
+	need := 2*f + 1
+	if conn := g.VertexConnectivity(); conn < need {
+		return nil, fmt.Errorf("dolev: connectivity %d < 2f+1 = %d", conn, need)
+	}
+	r := &Router{g: g, f: f, paths: make(map[[2]int][][]int)}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			paths, err := g.VertexDisjointPaths(u, v, need)
+			if err != nil {
+				return nil, err
+			}
+			if len(paths) < need {
+				return nil, fmt.Errorf("dolev: only %d disjoint paths between %s and %s",
+					len(paths), g.Name(u), g.Name(v))
+			}
+			paths = paths[:need]
+			r.paths[[2]int{u, v}] = paths
+			reversed := make([][]int, len(paths))
+			for i, p := range paths {
+				rp := make([]int, len(p))
+				for j, x := range p {
+					rp[len(p)-1-j] = x
+				}
+				reversed[i] = rp
+			}
+			r.paths[[2]int{v, u}] = reversed
+			for _, p := range paths {
+				if len(p)-1 > r.maxHops {
+					r.maxHops = len(p) - 1
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// StretchFactor returns P, the number of simulator rounds one overlay
+// round occupies (the longest routing path in hops).
+func (r *Router) StretchFactor() int { return r.maxHops }
+
+// Path returns the idx-th disjoint path from origin to dest (as node
+// indices), or nil if out of range.
+func (r *Router) Path(origin, dest, idx int) []int {
+	paths := r.paths[[2]int{origin, dest}]
+	if idx < 0 || idx >= len(paths) {
+		return nil
+	}
+	return paths[idx]
+}
+
+// NumPaths returns the number of disjoint paths used per pair (2f+1).
+func (r *Router) NumPaths() int { return 2*r.f + 1 }
+
+// piece is one routed fragment: a copy of an overlay message traveling
+// along one path.
+type piece struct {
+	origin, dest int
+	pathIdx      int
+	hop          int // position of the current holder on the path
+	innerRound   int
+	payload      string // hex-encoded inner payload
+}
+
+func (p piece) encode(r *Router) string {
+	return fmt.Sprintf("%s>%s>%d,%d,%d,%s",
+		r.g.Name(p.origin), r.g.Name(p.dest), p.pathIdx, p.hop, p.innerRound, p.payload)
+}
+
+func decodePiece(r *Router, s string) (piece, bool) {
+	var p piece
+	parts := strings.SplitN(s, ",", 4)
+	if len(parts) != 4 {
+		return p, false
+	}
+	route := strings.Split(parts[0], ">")
+	if len(route) != 3 {
+		return p, false
+	}
+	origin, ok1 := r.g.Index(route[0])
+	dest, ok2 := r.g.Index(route[1])
+	if !ok1 || !ok2 {
+		return p, false
+	}
+	pathIdx, err1 := sim.DecodeInt(route[2])
+	hop, err2 := sim.DecodeInt(parts[1])
+	innerRound, err3 := sim.DecodeInt(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return p, false
+	}
+	if _, err := hex.DecodeString(parts[3]); err != nil {
+		return p, false
+	}
+	p = piece{origin: origin, dest: dest, pathIdx: pathIdx, hop: hop, innerRound: innerRound, payload: parts[3]}
+	return p, true
+}
+
+// overlayDevice runs an inner complete-graph device over Dolev routing.
+type overlayDevice struct {
+	router  *Router
+	inner   sim.Device
+	self    int
+	nbs     map[string]bool
+	outbox  []piece               // pieces to transmit next round
+	arrived map[arrivalKey]string // (origin, innerRound, pathIdx) -> payload (first copy wins)
+}
+
+type arrivalKey struct {
+	origin, innerRound, pathIdx int
+}
+
+var _ sim.Device = (*overlayDevice)(nil)
+
+// Overlay wraps an inner builder so the resulting devices run on the
+// router's (possibly sparse) graph. The inner device is built believing
+// it sits on the complete graph over all node names; each of its rounds
+// occupies StretchFactor() simulator rounds.
+func Overlay(router *Router, inner sim.Builder) sim.Builder {
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		u := router.g.MustIndex(self)
+		peers := make([]string, 0, router.g.N()-1)
+		for _, name := range router.g.Names() {
+			if name != self {
+				peers = append(peers, name)
+			}
+		}
+		d := &overlayDevice{
+			router:  router,
+			inner:   inner(self, peers, input),
+			self:    u,
+			nbs:     make(map[string]bool, len(neighbors)),
+			arrived: make(map[arrivalKey]string),
+		}
+		for _, nb := range neighbors {
+			d.nbs[nb] = true
+		}
+		return d
+	}
+}
+
+func (d *overlayDevice) Init(self string, neighbors []string, input sim.Input) {
+	// The inner device was built with its complete-graph view.
+}
+
+func (d *overlayDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
+	d.ingest(inbox)
+	p := d.router.StretchFactor()
+	if round%p == 0 {
+		innerRound := round / p
+		d.stepInner(innerRound)
+	}
+	return d.flush()
+}
+
+// ingest validates and routes incoming pieces: recording copies addressed
+// to us, forwarding the rest one hop.
+func (d *overlayDevice) ingest(inbox sim.Inbox) {
+	senders := make([]string, 0, len(inbox))
+	for s := range inbox {
+		senders = append(senders, s)
+	}
+	sort.Strings(senders)
+	for _, from := range senders {
+		fromIdx, ok := d.router.g.Index(from)
+		if !ok {
+			continue
+		}
+		for _, frag := range strings.Split(string(inbox[from]), "&") {
+			pc, ok := decodePiece(d.router, frag)
+			if !ok {
+				continue
+			}
+			path := d.router.Path(pc.origin, pc.dest, pc.pathIdx)
+			if path == nil || pc.hop <= 0 || pc.hop >= len(path) {
+				continue
+			}
+			// We must be the node at position hop, fed by position hop-1.
+			if path[pc.hop] != d.self || path[pc.hop-1] != fromIdx {
+				continue
+			}
+			if pc.hop == len(path)-1 {
+				// We are the destination: record the first copy per path.
+				key := arrivalKey{origin: pc.origin, innerRound: pc.innerRound, pathIdx: pc.pathIdx}
+				if _, dup := d.arrived[key]; !dup {
+					d.arrived[key] = pc.payload
+				}
+				continue
+			}
+			next := pc
+			next.hop++
+			d.outbox = append(d.outbox, next)
+		}
+	}
+}
+
+// stepInner decodes the majority inbox for the inner round and launches
+// the inner device's new messages along all disjoint paths.
+func (d *overlayDevice) stepInner(innerRound int) {
+	innerInbox := sim.Inbox{}
+	if innerRound > 0 {
+		for origin := 0; origin < d.router.g.N(); origin++ {
+			if origin == d.self {
+				continue
+			}
+			counts := map[string]int{}
+			for idx := 0; idx < d.router.NumPaths(); idx++ {
+				key := arrivalKey{origin: origin, innerRound: innerRound - 1, pathIdx: idx}
+				if copyVal, ok := d.arrived[key]; ok {
+					counts[copyVal]++
+				}
+				delete(d.arrived, key)
+			}
+			best, bestN := "", 0
+			keys := make([]string, 0, len(counts))
+			for v := range counts {
+				keys = append(keys, v)
+			}
+			sort.Strings(keys)
+			for _, v := range keys {
+				if counts[v] > bestN {
+					best, bestN = v, counts[v]
+				}
+			}
+			// Authentic iff a majority of the 2f+1 paths agree.
+			if bestN >= d.router.f+1 {
+				decoded, err := hex.DecodeString(best)
+				if err == nil && len(decoded) > 0 {
+					innerInbox[d.router.g.Name(origin)] = sim.Payload(decoded)
+				}
+			}
+		}
+	}
+	out := d.inner.Step(innerRound, innerInbox)
+	for to, payload := range out {
+		dest, ok := d.router.g.Index(to)
+		if !ok || payload == sim.None {
+			continue
+		}
+		encoded := hex.EncodeToString([]byte(payload))
+		for idx := 0; idx < d.router.NumPaths(); idx++ {
+			d.outbox = append(d.outbox, piece{
+				origin: d.self, dest: dest, pathIdx: idx, hop: 1,
+				innerRound: innerRound, payload: encoded,
+			})
+		}
+	}
+}
+
+// flush groups queued pieces by next-hop neighbor into one payload each.
+func (d *overlayDevice) flush() sim.Outbox {
+	byNeighbor := map[string][]string{}
+	for _, pc := range d.outbox {
+		path := d.router.Path(pc.origin, pc.dest, pc.pathIdx)
+		nextNode := d.router.g.Name(path[pc.hop])
+		if !d.nbs[nextNode] {
+			continue // cannot happen with consistent tables
+		}
+		byNeighbor[nextNode] = append(byNeighbor[nextNode], pc.encode(d.router))
+	}
+	d.outbox = nil
+	out := sim.Outbox{}
+	for nb, frags := range byNeighbor {
+		sort.Strings(frags)
+		out[nb] = sim.Payload(strings.Join(frags, "&"))
+	}
+	return out
+}
+
+func (d *overlayDevice) Snapshot() string {
+	keys := make([]arrivalKey, 0, len(d.arrived))
+	for k := range d.arrived {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		if a.innerRound != b.innerRound {
+			return a.innerRound < b.innerRound
+		}
+		return a.pathIdx < b.pathIdx
+	})
+	var b strings.Builder
+	b.WriteString("dolev|")
+	b.WriteString(d.inner.Snapshot())
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%d.%d.%d=%s", k.origin, k.innerRound, k.pathIdx, d.arrived[k])
+	}
+	return b.String()
+}
+
+func (d *overlayDevice) Output() (sim.Decision, bool) { return d.inner.Output() }
+
+// Rounds converts inner-device rounds to overlay simulator rounds.
+func (r *Router) Rounds(innerRounds int) int {
+	return innerRounds*r.StretchFactor() + 1
+}

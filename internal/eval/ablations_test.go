@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// Pins for the ablation experiments' headline facts (the full run is
+// covered by TestAllExperimentsRun; these assert the *content*).
+
+func TestE15SignedAgreementPassesEverywhere(t *testing.T) {
+	res, err := RunE15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := res.Tables[0]
+	for _, row := range panel.Rows {
+		if row[4] != row[5] {
+			t.Errorf("signed agreement failed some configs on %s: %s/%s", row[0], row[4], row[5])
+		}
+	}
+	// The triangle row must be an unsigned-inadequate graph.
+	if panel.Rows[0][0] != "K3" || panel.Rows[0][3] != "false" {
+		t.Errorf("first row should be the inadequate triangle: %v", panel.Rows[0])
+	}
+	// Every hexagon splice must be rejected.
+	verdicts := res.Tables[1]
+	for _, row := range verdicts.Rows {
+		if !strings.HasPrefix(row[1], "REJECTED") {
+			t.Errorf("splice %s not rejected: %s", row[0], row[1])
+		}
+	}
+}
+
+func TestE16DelayAblationShape(t *testing.T) {
+	res, err := RunE16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn4 := res.Tables[0]
+	brokenAtPositiveDelay := false
+	for _, row := range fn4.Rows {
+		if row[1] != "agreement holds" {
+			t.Errorf("adversary %s broke the zero-delay algorithm: %s", row[0], row[1])
+		}
+		if strings.HasPrefix(row[2], "BROKEN") {
+			brokenAtPositiveDelay = true
+		}
+	}
+	if !brokenAtPositiveDelay {
+		t.Error("no adversary broke the algorithm under a positive minimum delay")
+	}
+	scaling := res.Tables[1]
+	if scaling.Rows[0][1] != "true" || scaling.Rows[1][1] != "false" {
+		t.Errorf("scaling table wrong: %v", scaling.Rows)
+	}
+}
+
+func TestE17FrontierVerdictsComputed(t *testing.T) {
+	res, err := RunE17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := res.Tables[0]
+	panel := attackSweepPanelSize()
+	for _, row := range census.Rows {
+		adequate := row[4] == "true"
+		verdict := row[5]
+		if adequate && !strings.Contains(verdict, "passes") {
+			t.Errorf("%s: adequate but verdict %q", row[0], verdict)
+		}
+		if !adequate && !strings.Contains(verdict, "engine") {
+			t.Errorf("%s: inadequate but verdict %q", row[0], verdict)
+		}
+		if adequate && !strings.Contains(verdict, "/") {
+			t.Errorf("%s: no sweep total in %q", row[0], verdict)
+		}
+	}
+	if panel < 7 {
+		t.Errorf("attack panel shrank to %d strategies", panel)
+	}
+}
+
+func TestE9MessageComplexityShape(t *testing.T) {
+	res, err := RunE9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mc *Table
+	for _, tbl := range res.Tables {
+		if strings.HasPrefix(tbl.Title, "Communication cost") {
+			mc = tbl
+		}
+	}
+	if mc == nil {
+		t.Fatal("message complexity table missing")
+	}
+	// EIG's max payload grows superlinearly with f; phase king's stays 1.
+	var eigMax, pkMax []string
+	for _, row := range mc.Rows {
+		if row[0] == "eig" {
+			eigMax = append(eigMax, row[6])
+		} else {
+			pkMax = append(pkMax, row[6])
+		}
+	}
+	if len(eigMax) != 3 || len(pkMax) != 3 {
+		t.Fatalf("rows: eig=%d pk=%d", len(eigMax), len(pkMax))
+	}
+	for _, v := range pkMax {
+		if v != "1" {
+			t.Errorf("phase king payload %s, want 1", v)
+		}
+	}
+	if eigMax[2] <= eigMax[0] { // string compare is fine: "5543" > "14"... careful
+		// Compare lengths instead: payload digit count must grow.
+		if len(eigMax[2]) <= len(eigMax[0]) {
+			t.Errorf("EIG payload did not grow: %v", eigMax)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package eval is the experiment harness: it regenerates, as text tables
+// and data series, every theorem and corollary of FLM85 (the paper's
+// "evaluation" is its results section) plus the tightness experiments
+// that show the 3f+1 and 2f+1 bounds are matched from above by EIG,
+// phase king, Dolev routing, DLPSW, and the firing-squad reduction.
+// cmd/flm exposes the registry; EXPERIMENTS.md records the output.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one experiment table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Series is one experiment figure: named y-series over a shared x-axis.
+type Series struct {
+	Title   string
+	XLabel  string
+	YLabels []string
+	X       []float64
+	Y       [][]float64
+	Notes   []string
+}
+
+// Render formats the series as an aligned data listing.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	fmt.Fprintf(&b, "%-12s", s.XLabel)
+	for _, yl := range s.YLabels {
+		fmt.Fprintf(&b, "  %-14s", yl)
+	}
+	b.WriteString("\n")
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%-12.4g", x)
+		for j := range s.YLabels {
+			fmt.Fprintf(&b, "  %-14.6g", s.Y[j][i])
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range s.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID      string
+	Name    string
+	Paper   string // which paper result this reproduces
+	Summary string
+	Tables  []*Table
+	Figures []*Series
+}
+
+// Render formats the whole result.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Name)
+	fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	if r.Summary != "" {
+		fmt.Fprintf(&b, "%s\n", r.Summary)
+	}
+	for _, t := range r.Tables {
+		b.WriteString("\n")
+		b.WriteString(t.Render())
+	}
+	for _, f := range r.Figures {
+		b.WriteString("\n")
+		b.WriteString(f.Render())
+	}
+	return b.String()
+}
+
+// Experiment couples an ID with a runner.
+type Experiment struct {
+	ID    string
+	Name  string
+	Paper string
+	Run   func() (*Result, error)
+}
+
+// Registry returns every experiment, sorted by ID.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{ID: "E1", Name: "Byzantine agreement needs 3f+1 nodes", Paper: "Theorem 1 (Section 3.1)", Run: RunE1},
+		{ID: "E2", Name: "Byzantine agreement needs 2f+1 connectivity", Paper: "Theorem 1 (Section 3.2)", Run: RunE2},
+		{ID: "E3", Name: "Weak agreement on the 4k-ring covering", Paper: "Theorem 2 + Lemma 3 (Section 4)", Run: RunE3},
+		{ID: "E4", Name: "Byzantine firing squad on the 4k-ring covering", Paper: "Theorem 4 (Section 5)", Run: RunE4},
+		{ID: "E5", Name: "Simple approximate agreement on the hexagon", Paper: "Theorem 5 (Section 6.1)", Run: RunE5},
+		{ID: "E6", Name: "(ε,δ,γ)-agreement induction on the (k+2)-ring", Paper: "Theorem 6 + Lemma 7 (Section 6.2)", Run: RunE6},
+		{ID: "E7", Name: "Clock synchronization on the scaled ring", Paper: "Theorem 8 + Lemmas 9-11 (Section 7)", Run: RunE7},
+		{ID: "E8", Name: "Clock corollaries: best possible sync constants", Paper: "Corollaries 12-15 (Section 7.1)", Run: RunE8},
+		{ID: "E9", Name: "Tightness: EIG and phase king on adequate graphs", Paper: "context: [PSL], [LSP] upper bounds", Run: RunE9},
+		{ID: "E10", Name: "Tightness: Dolev routing at connectivity 2f+1", Paper: "context: [D] upper bound", Run: RunE10},
+		{ID: "E11", Name: "Tightness: DLPSW approximate agreement convergence", Paper: "context: [DLPSW] upper bound", Run: RunE11},
+		{ID: "E12", Name: "Tightness: firing squad and weak agreement via BA", Paper: "context: [CDDS], [L] reductions", Run: RunE12},
+		{ID: "E13", Name: "Partition collapse: block sweeps of the node bound", Paper: "Section 3.1, footnote 3", Run: RunE13},
+		{ID: "E14", Name: "Nondeterministic devices are defeated too", Paper: "Section 3.3 remark", Run: RunE14},
+		{ID: "E15", Name: "Ablation: signatures break the Fault axiom", Paper: "Section 2 remark; [LSP,PSL]", Run: RunE15},
+		{ID: "E16", Name: "Ablation: delay assumptions (footnote 4, Scaling axiom)", Paper: "Section 4 fn.4; Section 7 remark", Run: RunE16},
+		{ID: "E17", Name: "The adequacy frontier across graph families", Paper: "Theorem 1 both bounds + tightness census", Run: RunE17},
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		if len(exps[i].ID) != len(exps[j].ID) {
+			return len(exps[i].ID) < len(exps[j].ID)
+		}
+		return exps[i].ID < exps[j].ID
+	})
+	return exps
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Complete returns the complete graph K_n with nodes p0..p(n-1).
+func Complete(n int) *Graph {
+	g := Generated("p", n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteNamed returns the complete graph over the given node names.
+func CompleteNamed(names ...string) *Graph {
+	g := MustNew(names...)
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Triangle returns the paper's three-node complete graph on nodes a, b, c.
+func Triangle() *Graph { return CompleteNamed("a", "b", "c") }
+
+// Diamond returns the paper's four-node connectivity-2 graph: the cycle
+// a-b-c-d-a (Section 3.2), in which {b,d} is a vertex cut separating a
+// from c.
+func Diamond() *Graph {
+	g := MustNew("a", "b", "c", "d")
+	g.MustAddEdge(0, 1) // a-b
+	g.MustAddEdge(1, 2) // b-c
+	g.MustAddEdge(2, 3) // c-d
+	g.MustAddEdge(3, 0) // d-a
+	return g
+}
+
+// Ring returns the n-cycle r0-r1-...-r(n-1)-r0. It requires n >= 3.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring needs n >= 3, got %d", n))
+	}
+	g := Generated("r", n)
+	for u := 0; u < n; u++ {
+		g.MustAddEdge(u, (u+1)%n)
+	}
+	return g
+}
+
+// Line returns the n-node path l0-l1-...-l(n-1).
+func Line(n int) *Graph {
+	g := Generated("l", n)
+	for u := 0; u+1 < n; u++ {
+		g.MustAddEdge(u, u+1)
+	}
+	return g
+}
+
+// Star returns a star with center s0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := Generated("s", n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v)
+	}
+	return g
+}
+
+// Wheel returns the wheel W_n: an (n-1)-cycle plus a hub adjacent to every
+// rim node. Its vertex connectivity is 3 for n >= 5.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph: wheel needs n >= 4, got %d", n))
+	}
+	g := Generated("w", n)
+	for u := 1; u < n; u++ {
+		g.MustAddEdge(0, u)
+	}
+	for u := 1; u < n; u++ {
+		next := u + 1
+		if next == n {
+			next = 1
+		}
+		if !g.HasEdge(u, next) {
+			g.MustAddEdge(u, next)
+		}
+	}
+	return g
+}
+
+// Circulant returns the circulant graph C_n(offsets): node u is adjacent
+// to u±d (mod n) for each offset d. With offsets 1..k it has vertex
+// connectivity 2k (for n > 2k), which makes it the standard family for
+// sweeping the paper's 2f+1 connectivity threshold.
+func Circulant(n int, offsets ...int) *Graph {
+	g := Generated("c", n)
+	for _, d := range offsets {
+		if d <= 0 || 2*d >= n {
+			panic(fmt.Sprintf("graph: circulant offset %d invalid for n=%d", d, n))
+		}
+		for u := 0; u < n; u++ {
+			v := (u + d) % n
+			if !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d (2^d nodes,
+// connectivity d).
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	g := Generated("h", n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << bit)
+			if u < v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	g := Generated("g", rows*cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Petersen returns the Petersen graph (10 nodes, 3-regular,
+// connectivity 3).
+func Petersen() *Graph {
+	g := Generated("v", 10)
+	for u := 0; u < 5; u++ {
+		g.MustAddEdge(u, (u+1)%5) // outer pentagon
+		g.MustAddEdge(u, u+5)     // spokes
+		g.MustAddEdge(u+5, (u+2)%5+5)
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{m,n} (connectivity min(m,n)).
+func CompleteBipartite(m, n int) *Graph {
+	g := Generated("b", m+n)
+	for u := 0; u < m; u++ {
+		for v := m; v < m+n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// GNP returns a seeded Erdős–Rényi random graph G(n,p). The same seed
+// always yields the same graph.
+func GNP(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := Generated("q", n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteMinusMatching returns K_n with a maximal matching of edges
+// removed; for even n it is (n-2)-regular with connectivity n-2, a useful
+// near-complete test family.
+func CompleteMinusMatching(n int) *Graph {
+	g := Complete(n)
+	h := Generated("p", n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v && !(u%2 == 0 && v == u+1) {
+				h.MustAddEdge(u, v)
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,326 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexConnectivity returns the vertex connectivity c(G): the minimum
+// number of nodes whose removal disconnects the graph (n-1 for complete
+// graphs, 0 for disconnected ones). It is computed exactly via Menger's
+// theorem: c(G) is the minimum over non-adjacent pairs (s,t) of the
+// maximum number of internally vertex-disjoint s-t paths, found by
+// unit-capacity max-flow on the node-split digraph.
+func (g *Graph) VertexConnectivity() int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	best := n - 1 // complete-graph value; also an upper bound
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			if g.HasEdge(s, t) {
+				continue
+			}
+			if k := g.localConnectivity(s, t, best); k < best {
+				best = k
+			}
+		}
+	}
+	return best
+}
+
+// MinVertexCut returns a minimum vertex cut of g along with a pair of
+// nodes (s,t) it separates. For complete graphs (which have no cut) it
+// returns nil and (-1,-1).
+func (g *Graph) MinVertexCut() (cut []int, s, t int) {
+	n := g.N()
+	if !g.IsConnected() {
+		comps := g.Components()
+		return []int{}, comps[0][0], comps[1][0]
+	}
+	bestK := n
+	bestS, bestT := -1, -1
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if g.HasEdge(a, b) {
+				continue
+			}
+			if k := g.localConnectivity(a, b, bestK); k < bestK {
+				bestK, bestS, bestT = k, a, b
+			}
+		}
+	}
+	if bestS < 0 {
+		return nil, -1, -1 // complete graph
+	}
+	f := g.newSplitFlow(bestS, bestT)
+	f.maxFlow(bestK + 1)
+	return f.minCutNodes(), bestS, bestT
+}
+
+// LocalConnectivity returns the maximum number of internally vertex-
+// disjoint paths between distinct nodes s and t (Menger). If s and t are
+// adjacent, the direct edge counts as one path.
+func (g *Graph) LocalConnectivity(s, t int) int {
+	if s == t {
+		panic("graph: local connectivity of a node with itself")
+	}
+	return g.localConnectivity(s, t, g.N())
+}
+
+// localConnectivity computes min(limit, #disjoint paths).
+func (g *Graph) localConnectivity(s, t, limit int) int {
+	f := g.newSplitFlow(s, t)
+	return f.maxFlow(limit)
+}
+
+// VertexDisjointPaths returns a maximum set of internally vertex-disjoint
+// paths from s to t (each path a slice of node indices starting at s and
+// ending at t), capped at limit if limit > 0. Paths are returned sorted by
+// (length, lexicographic) so results are deterministic.
+func (g *Graph) VertexDisjointPaths(s, t, limit int) ([][]int, error) {
+	if s == t {
+		return nil, fmt.Errorf("graph: disjoint paths require distinct endpoints")
+	}
+	cap := g.N()
+	if limit > 0 && limit < cap {
+		cap = limit
+	}
+	f := g.newSplitFlow(s, t)
+	f.maxFlow(cap)
+	paths := f.decomposePaths()
+	sort.Slice(paths, func(i, j int) bool {
+		if len(paths[i]) != len(paths[j]) {
+			return len(paths[i]) < len(paths[j])
+		}
+		for k := range paths[i] {
+			if paths[i][k] != paths[j][k] {
+				return paths[i][k] < paths[j][k]
+			}
+		}
+		return false
+	})
+	return paths, nil
+}
+
+// CutForFaults finds, for a graph with connectivity at most 2f, a
+// minimum vertex cut split into the two halves b and d (each of size at
+// most f) plus a separated node pair (u,v) — exactly the ingredients the
+// FLM85 connectivity arguments need. It fails if the graph's
+// connectivity exceeds 2f (the bound does not apply).
+func (g *Graph) CutForFaults(f int) (b, d []int, u, v int, err error) {
+	cut, s, t := g.MinVertexCut()
+	if s < 0 {
+		return nil, nil, -1, -1, fmt.Errorf("graph: complete graph has no vertex cut")
+	}
+	if len(cut) > 2*f {
+		return nil, nil, -1, -1, fmt.Errorf("graph: connectivity %d exceeds 2f = %d; the bound does not apply",
+			len(cut), 2*f)
+	}
+	half := (len(cut) + 1) / 2
+	b = append([]int(nil), cut[:half]...)
+	d = append([]int(nil), cut[half:]...)
+	return b, d, s, t, nil
+}
+
+// IsAdequate reports whether g can, per FLM85, possibly support the five
+// consensus problems with f Byzantine faults: n >= 3f+1 and vertex
+// connectivity >= 2f+1. Graphs failing either bound are "inadequate".
+// f must be >= 1; with f = 0 every connected graph of >= 1 node is
+// adequate.
+func (g *Graph) IsAdequate(f int) bool {
+	if f < 0 {
+		panic("graph: negative fault bound")
+	}
+	if f == 0 {
+		return g.N() >= 1 && g.IsConnected()
+	}
+	return g.N() >= 3*f+1 && g.VertexConnectivity() >= 2*f+1
+}
+
+// MaxTolerableFaults returns the largest f for which g is adequate
+// (0 if g cannot tolerate any Byzantine fault).
+func (g *Graph) MaxTolerableFaults() int {
+	byNodes := (g.N() - 1) / 3
+	byConn := (g.VertexConnectivity() - 1) / 2
+	if byConn < byNodes {
+		return byConn
+	}
+	return byNodes
+}
+
+// splitFlow is a max-flow instance on the node-split digraph: every node
+// u other than s and t becomes u_in -> u_out with capacity 1; each
+// undirected edge {u,v} becomes u_out -> v_in and v_out -> u_in with
+// effectively infinite capacity, so that a minimum cut consists only of
+// split (node) edges — except a direct s-t edge, which gets capacity 1
+// because it forms exactly one internally-disjoint path. Node x's
+// in-vertex is 2x and out-vertex is 2x+1; s and t are not split (their
+// internal edge has infinite capacity).
+type splitFlow struct {
+	g        *Graph
+	s, t     int
+	n        int     // flow vertices = 2 * g.N()
+	to       []int   // edge target
+	capacity []int   // residual capacity
+	head     [][]int // adjacency: vertex -> edge ids
+}
+
+const infCap = 1 << 30
+
+func (g *Graph) newSplitFlow(s, t int) *splitFlow {
+	f := &splitFlow{g: g, s: s, t: t, n: 2 * g.N()}
+	f.head = make([][]int, f.n)
+	addEdge := func(u, v, c int) {
+		f.head[u] = append(f.head[u], len(f.to))
+		f.to = append(f.to, v)
+		f.capacity = append(f.capacity, c)
+		f.head[v] = append(f.head[v], len(f.to))
+		f.to = append(f.to, u)
+		f.capacity = append(f.capacity, 0)
+	}
+	for u := 0; u < g.N(); u++ {
+		c := 1
+		if u == s || u == t {
+			c = infCap
+		}
+		addEdge(2*u, 2*u+1, c) // u_in -> u_out
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.adj[u] {
+			c := infCap
+			if (u == s && v == t) || (u == t && v == s) {
+				c = 1 // the direct edge is a single disjoint path
+			}
+			addEdge(2*u+1, 2*v, c) // u_out -> v_in
+		}
+	}
+	return f
+}
+
+// maxFlow runs BFS augmentation from s_out to t_in until no augmenting
+// path remains or limit is reached, returning the flow value.
+func (f *splitFlow) maxFlow(limit int) int {
+	src, dst := 2*f.s+1, 2*f.t
+	flow := 0
+	prevEdge := make([]int, f.n)
+	for flow < limit {
+		for i := range prevEdge {
+			prevEdge[i] = -1
+		}
+		prevEdge[src] = -2
+		queue := []int{src}
+		found := false
+		for len(queue) > 0 && !found {
+			u := queue[0]
+			queue = queue[1:]
+			for _, id := range f.head[u] {
+				v := f.to[id]
+				if prevEdge[v] == -1 && f.capacity[id] > 0 {
+					prevEdge[v] = id
+					if v == dst {
+						found = true
+						break
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		for v := dst; v != src; {
+			id := prevEdge[v]
+			f.capacity[id]--
+			f.capacity[id^1]++
+			v = f.to[id^1]
+		}
+		flow++
+	}
+	return flow
+}
+
+// minCutNodes returns the original-graph nodes whose split edge
+// (u_in -> u_out) crosses the s-side/t-side residual boundary; by
+// max-flow/min-cut these form a minimum vertex cut.
+func (f *splitFlow) minCutNodes() []int {
+	reach := make([]bool, f.n)
+	src := 2*f.s + 1
+	reach[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range f.head[u] {
+			if v := f.to[id]; f.capacity[id] > 0 && !reach[v] {
+				reach[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	var cut []int
+	for u := 0; u < f.g.N(); u++ {
+		if u == f.s || u == f.t {
+			continue
+		}
+		if reach[2*u] && !reach[2*u+1] {
+			cut = append(cut, u)
+		}
+	}
+	sort.Ints(cut)
+	return cut
+}
+
+// decomposePaths extracts the vertex-disjoint s-t paths carried by the
+// current flow by walking forward edges that carry one unit. Every
+// inter-node edge carries at most one unit because its endpoints' split
+// edges have capacity 1 (and the direct s-t edge is itself capacity 1).
+func (f *splitFlow) decomposePaths() [][]int {
+	// Reconstruct per-edge flow from reverse residuals: a forward edge
+	// (even id) carries flow equal to the residual of its reverse twin.
+	used := func(id int) bool {
+		return id%2 == 0 && f.capacity[id^1] > 0
+	}
+	consume := func(id int) {
+		f.capacity[id^1]--
+	}
+	var paths [][]int
+	// Each used edge s_out -> v_in starts one path.
+	srcOut := 2*f.s + 1
+	for _, id := range f.head[srcOut] {
+		if id%2 == 1 || f.to[id]%2 == 1 || !used(id) {
+			continue
+		}
+		path := []int{f.s}
+		consume(id)
+		v := f.to[id] / 2 // node whose in-vertex we entered
+		for v != f.t {
+			path = append(path, v)
+			// Leave through v_out on a used inter-node edge.
+			vOut := 2*v + 1
+			next := -1
+			for _, eid := range f.head[vOut] {
+				if eid%2 == 0 && f.to[eid]%2 == 0 && used(eid) {
+					next = eid
+					break
+				}
+			}
+			if next == -1 {
+				// Should not happen on a valid flow.
+				panic("graph: flow decomposition stuck")
+			}
+			consume(next)
+			v = f.to[next] / 2
+		}
+		path = append(path, f.t)
+		paths = append(paths, path)
+	}
+	return paths
+}

@@ -1,0 +1,407 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteConnectivity computes vertex connectivity by exhaustive removal of
+// node subsets, as an oracle for the max-flow implementation. Exponential;
+// keep n small.
+func bruteConnectivity(g *Graph) int {
+	n := g.N()
+	if n <= 1 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	complete := true
+	for u := 0; u < n && complete; u++ {
+		if g.Degree(u) != n-1 {
+			complete = false
+		}
+	}
+	if complete {
+		return n - 1
+	}
+	for k := 1; k < n-1; k++ {
+		if removalDisconnects(g, k, 0, nil) {
+			return k
+		}
+	}
+	return n - 1
+}
+
+func removalDisconnects(g *Graph, k, start int, chosen []int) bool {
+	if len(chosen) == k {
+		keep := make([]int, 0, g.N()-k)
+		inChosen := make(map[int]bool, k)
+		for _, c := range chosen {
+			inChosen[c] = true
+		}
+		for u := 0; u < g.N(); u++ {
+			if !inChosen[u] {
+				keep = append(keep, u)
+			}
+		}
+		sub, _ := g.InducedSubgraph(keep)
+		return !sub.IsConnected()
+	}
+	for u := start; u < g.N(); u++ {
+		if removalDisconnects(g, k, u+1, append(chosen, u)) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVertexConnectivityKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K1", Complete(1), 0},
+		{"K3", Complete(3), 2},
+		{"K4", Complete(4), 3},
+		{"K7", Complete(7), 6},
+		{"triangle", Triangle(), 2},
+		{"diamond", Diamond(), 2},
+		{"ring4", Ring(4), 2},
+		{"ring9", Ring(9), 2},
+		{"line5", Line(5), 1},
+		{"star6", Star(6), 1},
+		{"wheel6", Wheel(6), 3},
+		{"wheel9", Wheel(9), 3},
+		{"circulant9(1,2)", Circulant(9, 1, 2), 4},
+		{"circulant11(1,2,3)", Circulant(11, 1, 2, 3), 6},
+		{"hypercube3", Hypercube(3), 3},
+		{"hypercube4", Hypercube(4), 4},
+		{"grid3x3", Grid(3, 3), 2},
+		{"K6-matching", CompleteMinusMatching(6), 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.VertexConnectivity(); got != tt.want {
+				t.Errorf("VertexConnectivity() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVertexConnectivityDisconnected(t *testing.T) {
+	g := MustNew("a", "b", "c", "d")
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	if got := g.VertexConnectivity(); got != 0 {
+		t.Errorf("disconnected graph connectivity = %d, want 0", got)
+	}
+}
+
+func TestVertexConnectivityMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		for _, p := range []float64{0.3, 0.5, 0.8} {
+			g := GNP(7, p, seed)
+			want := bruteConnectivity(g)
+			if got := g.VertexConnectivity(); got != want {
+				t.Errorf("seed=%d p=%v: flow connectivity %d, brute force %d\n%s",
+					seed, p, got, want, g)
+			}
+		}
+	}
+}
+
+func TestMinVertexCutSeparates(t *testing.T) {
+	graphs := []*Graph{Diamond(), Ring(8), Wheel(7), Grid(3, 4), Hypercube(3), Circulant(10, 1, 2)}
+	for _, g := range graphs {
+		cut, s, u := g.MinVertexCut()
+		if s < 0 {
+			t.Fatalf("no cut found for non-complete graph\n%s", g)
+		}
+		if len(cut) != g.VertexConnectivity() {
+			t.Errorf("cut size %d != connectivity %d", len(cut), g.VertexConnectivity())
+		}
+		keep := make([]int, 0, g.N())
+		inCut := make(map[int]bool, len(cut))
+		for _, c := range cut {
+			inCut[c] = true
+		}
+		if inCut[s] || inCut[u] {
+			t.Fatalf("cut contains a separated endpoint")
+		}
+		for v := 0; v < g.N(); v++ {
+			if !inCut[v] {
+				keep = append(keep, v)
+			}
+		}
+		sub, orig := g.InducedSubgraph(keep)
+		// s and u must land in different components of the remainder.
+		comp := map[int]int{}
+		for ci, c := range sub.Components() {
+			for _, v := range c {
+				comp[orig[v]] = ci
+			}
+		}
+		if comp[s] == comp[u] {
+			t.Errorf("cut %v does not separate %s from %s", cut, g.Name(s), g.Name(u))
+		}
+	}
+}
+
+func TestMinVertexCutComplete(t *testing.T) {
+	cut, s, u := Complete(5).MinVertexCut()
+	if cut != nil || s != -1 || u != -1 {
+		t.Errorf("complete graph returned cut %v (%d,%d)", cut, s, u)
+	}
+}
+
+func TestLocalConnectivityAdjacentPair(t *testing.T) {
+	g := Diamond()
+	// a and b adjacent: direct edge plus path a-d-c-b = 2 disjoint paths.
+	if got := g.LocalConnectivity(g.MustIndex("a"), g.MustIndex("b")); got != 2 {
+		t.Errorf("local connectivity a,b = %d, want 2", got)
+	}
+	// a and c non-adjacent: paths via b and via d.
+	if got := g.LocalConnectivity(g.MustIndex("a"), g.MustIndex("c")); got != 2 {
+		t.Errorf("local connectivity a,c = %d, want 2", got)
+	}
+}
+
+func TestVertexDisjointPaths(t *testing.T) {
+	tests := []struct {
+		name  string
+		g     *Graph
+		s, t  int
+		want  int
+		limit int
+	}{
+		{"K5 all", Complete(5), 0, 4, 4, 0},
+		{"diamond", Diamond(), 0, 2, 2, 0},
+		{"wheel7", Wheel(7), 1, 4, 3, 0},
+		{"hypercube3", Hypercube(3), 0, 7, 3, 0},
+		{"circulant10 limited", Circulant(10, 1, 2), 0, 5, 3, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			paths, err := tt.g.VertexDisjointPaths(tt.s, tt.t, tt.limit)
+			if err != nil {
+				t.Fatalf("VertexDisjointPaths: %v", err)
+			}
+			if len(paths) != tt.want {
+				t.Fatalf("got %d paths, want %d: %v", len(paths), tt.want, paths)
+			}
+			used := map[int]bool{}
+			for _, p := range paths {
+				if p[0] != tt.s || p[len(p)-1] != tt.t {
+					t.Errorf("path %v does not join %d and %d", p, tt.s, tt.t)
+				}
+				for i := 0; i+1 < len(p); i++ {
+					if !tt.g.HasEdge(p[i], p[i+1]) {
+						t.Errorf("path %v uses non-edge %d-%d", p, p[i], p[i+1])
+					}
+				}
+				for _, v := range p[1 : len(p)-1] {
+					if used[v] {
+						t.Errorf("internal node %d reused across paths", v)
+					}
+					used[v] = true
+				}
+			}
+		})
+	}
+}
+
+func TestVertexDisjointPathsSameEndpoint(t *testing.T) {
+	if _, err := Complete(4).VertexDisjointPaths(1, 1, 0); err == nil {
+		t.Error("same endpoints accepted")
+	}
+}
+
+func TestAdequacy(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		f    int
+		want bool
+	}{
+		{"K3 f=1", Complete(3), 1, false},    // n = 3f
+		{"K4 f=1", Complete(4), 1, true},     // n = 3f+1, conn 3 = 2f+1
+		{"K6 f=2", Complete(6), 2, false},    // n = 3f
+		{"K7 f=2", Complete(7), 2, true},     // n = 3f+1, conn 6 >= 5
+		{"diamond f=1", Diamond(), 1, false}, // conn 2 = 2f
+		{"wheel7 f=1", Wheel(7), 1, true},    // n=7, conn 3
+		{"ring10 f=1", Ring(10), 1, false},   // conn 2
+		{"circ10 f=1", Circulant(10, 1, 2), 1, true},
+		{"circ13 f=2", Circulant(13, 1, 2), 2, false},      // conn 4 = 2f
+		{"circ13 f=2 ok", Circulant(13, 1, 2, 3), 2, true}, // conn 6 >= 5
+		{"K4 f=0", Complete(4), 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.IsAdequate(tt.f); got != tt.want {
+				t.Errorf("IsAdequate(%d) = %v, want %v (n=%d conn=%d)",
+					tt.f, got, tt.want, tt.g.N(), tt.g.VertexConnectivity())
+			}
+		})
+	}
+}
+
+func TestMaxTolerableFaults(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K4", Complete(4), 1},
+		{"K7", Complete(7), 2},
+		{"K10", Complete(10), 3},
+		{"diamond", Diamond(), 0},
+		{"wheel10", Wheel(10), 1}, // conn 3 limits to f=1
+		{"circ13(1,2,3)", Circulant(13, 1, 2, 3), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.MaxTolerableFaults(); got != tt.want {
+				t.Errorf("MaxTolerableFaults() = %d, want %d", got, tt.want)
+			}
+			if tt.want > 0 && !tt.g.IsAdequate(tt.want) {
+				t.Errorf("graph not adequate at its own MaxTolerableFaults")
+			}
+			if tt.g.IsAdequate(tt.want + 1) {
+				t.Errorf("graph adequate beyond MaxTolerableFaults")
+			}
+		})
+	}
+}
+
+func TestCutForFaults(t *testing.T) {
+	// Diamond, f=1: cut {b,d} split into singletons.
+	g := Diamond()
+	b, d, u, v, err := g.CutForFaults(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 || len(d) != 1 {
+		t.Errorf("halves %v / %v, want singletons", b, d)
+	}
+	if _, err := CutCover(g, b, d, u, v); err != nil {
+		t.Errorf("returned cut unusable: %v", err)
+	}
+	// Wheel(7) has connectivity 3 > 2f for f=1: bound does not apply.
+	if _, _, _, _, err := Wheel(7).CutForFaults(1); err == nil {
+		t.Error("over-connected graph accepted")
+	}
+	// Complete graphs have no cut.
+	if _, _, _, _, err := Complete(4).CutForFaults(2); err == nil {
+		t.Error("complete graph accepted")
+	}
+	// An articulation point yields an empty d-half that still works.
+	line := Line(3)
+	b, d, u, v, err = line.CutForFaults(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 || len(d) != 0 {
+		t.Errorf("halves %v / %v, want one singleton and one empty", b, d)
+	}
+	if _, err := CutCover(line, b, d, u, v); err != nil {
+		t.Errorf("articulation cut unusable: %v", err)
+	}
+}
+
+// Property: CutForFaults always returns a separating, usable cut when
+// connectivity <= 2f.
+func TestCutForFaultsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := GNP(7, 0.4, seed)
+		if !g.IsConnected() {
+			return true
+		}
+		conn := g.VertexConnectivity()
+		if conn == g.N()-1 {
+			return true // complete
+		}
+		f := (conn + 1) / 2
+		b, d, u, v, err := g.CutForFaults(f)
+		if err != nil {
+			return false
+		}
+		if len(b) > f || len(d) > f {
+			return false
+		}
+		_, err = CutCover(g, b, d, u, v)
+		return err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding an edge never decreases vertex connectivity.
+func TestConnectivityMonotoneUnderEdgeAddition(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(6, 0.4, seed)
+		before := g.VertexConnectivity()
+		// Add one random missing edge if any.
+		var missing [][2]int
+		for u := 0; u < g.N(); u++ {
+			for v := u + 1; v < g.N(); v++ {
+				if !g.HasEdge(u, v) {
+					missing = append(missing, [2]int{u, v})
+				}
+			}
+		}
+		if len(missing) == 0 {
+			return true
+		}
+		e := missing[rng.Intn(len(missing))]
+		g.MustAddEdge(e[0], e[1])
+		return g.VertexConnectivity() >= before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: connectivity is at most minimum degree.
+func TestConnectivityAtMostMinDegree(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := GNP(8, 0.5, seed)
+		minDeg := g.N()
+		for u := 0; u < g.N(); u++ {
+			if d := g.Degree(u); d < minDeg {
+				minDeg = d
+			}
+		}
+		return g.VertexConnectivity() <= minDeg
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: number of disjoint paths between any pair is at least the
+// graph connectivity (Menger, global-to-local direction).
+func TestDisjointPathsAtLeastConnectivity(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := GNP(7, 0.6, seed)
+		if !g.IsConnected() {
+			return true
+		}
+		k := g.VertexConnectivity()
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		s := rng.Intn(g.N())
+		t := rng.Intn(g.N())
+		if s == t {
+			return true
+		}
+		paths, err := g.VertexDisjointPaths(s, t, 0)
+		return err == nil && len(paths) >= k
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

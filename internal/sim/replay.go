@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReplayDevice is the executable form of the paper's Fault axiom device
+// F_A(E_1,...,E_d): installed at a node, it ignores everything it
+// receives and plays a prerecorded payload sequence on each outedge
+// independently. The recorded sequences may come from different system
+// behaviors — that is the masquerading power the axiom grants to faulty
+// nodes.
+type ReplayDevice struct {
+	self    string
+	scripts map[string][]Payload // per-neighbor payload sequence
+	round   int
+}
+
+var _ Device = (*ReplayDevice)(nil)
+
+// NewReplayDevice builds the Fault-axiom device from per-neighbor payload
+// scripts. Missing neighbors stay silent.
+func NewReplayDevice(scripts map[string][]Payload) *ReplayDevice {
+	copied := make(map[string][]Payload, len(scripts))
+	for nb, seq := range scripts {
+		copied[nb] = append([]Payload(nil), seq...)
+	}
+	return &ReplayDevice{scripts: copied}
+}
+
+// Builder returns a Builder producing replay devices with the given
+// scripts, for installation through NewSystem.
+func ReplayBuilder(scripts map[string][]Payload) Builder {
+	return func(self string, neighbors []string, input Input) Device {
+		d := NewReplayDevice(scripts)
+		d.Init(self, neighbors, input)
+		return d
+	}
+}
+
+// Init records the node identity. Scripts addressed to non-neighbors are
+// dropped, mirroring how a faulty node can only exhibit behavior on its
+// actual outedges.
+func (d *ReplayDevice) Init(self string, neighbors []string, input Input) {
+	d.self = self
+	allowed := make(map[string]bool, len(neighbors))
+	for _, nb := range neighbors {
+		allowed[nb] = true
+	}
+	for nb := range d.scripts {
+		if !allowed[nb] {
+			delete(d.scripts, nb)
+		}
+	}
+}
+
+// Step plays round r of every script, ignoring the inbox entirely.
+func (d *ReplayDevice) Step(round int, inbox Inbox) Outbox {
+	out := Outbox{}
+	for nb, seq := range d.scripts {
+		if round < len(seq) && seq[round] != None {
+			out[nb] = seq[round]
+		}
+	}
+	d.round = round + 1
+	return out
+}
+
+// Snapshot encodes the replay position and the scripts (canonical order).
+func (d *ReplayDevice) Snapshot() string {
+	nbs := make([]string, 0, len(d.scripts))
+	for nb := range d.scripts {
+		nbs = append(nbs, nb)
+	}
+	sort.Strings(nbs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay@%d", d.round)
+	for _, nb := range nbs {
+		fmt.Fprintf(&b, ";%s", nb)
+	}
+	return b.String()
+}
+
+// Output never decides: a faulty node's "choice" is irrelevant to every
+// correctness condition.
+func (d *ReplayDevice) Output() (Decision, bool) { return Decision{}, false }

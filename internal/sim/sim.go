@@ -1,0 +1,252 @@
+// Package sim is the synchronous message-passing execution model on which
+// the FLM85 reproduction runs. It makes the paper's abstract notions
+// concrete:
+//
+//   - a Device is a deterministic round-based automaton addressed by
+//     neighbor names;
+//   - a node behavior is the sequence of device state snapshots;
+//   - an edge behavior is the sequence of payloads carried by a directed
+//     edge, one per round;
+//   - a system behavior (a Run) is the tuple of all node and edge
+//     behaviors.
+//
+// The model satisfies the paper's Locality axiom by construction (a
+// device's next state depends only on its own state and its inbox), and
+// CheckLocality verifies it on concrete runs. It also satisfies the
+// Bounded-Delay Locality axiom with delta equal to one round, because a
+// message sent in round r is delivered in round r+1.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flm/internal/graph"
+)
+
+// Payload is the content of one message. The empty payload means "no
+// message this round"; edge behaviors are sequences of payloads, so two
+// edge behaviors are equal exactly when the same bytes flowed in the same
+// rounds.
+type Payload string
+
+// None is the absent message.
+const None Payload = ""
+
+// Input is a node's problem input, canonically encoded (see EncodeBool
+// and EncodeReal in codec.go).
+type Input string
+
+// Decision is a device's irrevocable output value, canonically encoded.
+type Decision struct {
+	Value string // chosen value; "" while undecided
+	Round int    // round at which the choice was made
+}
+
+// Inbox maps a neighbor name to the payload received from it this round.
+// Neighbors that sent nothing are absent.
+type Inbox map[string]Payload
+
+// Outbox maps a neighbor name to the payload to send this round. Only
+// actual neighbors may be addressed; other keys are an execution error.
+type Outbox map[string]Payload
+
+// Device is a deterministic consensus device. The executor drives it
+// with:
+//
+//	Init(self, neighbors, input)        // once, before round 0
+//	for r := 0; r < rounds; r++ {
+//	    out := Step(r, inbox)           // inbox from round r-1 sends
+//	}
+//
+// Snapshot must canonically encode the full device state so that two
+// devices are behaving identically iff their snapshot sequences are
+// equal. Output reports the device's choice once made; it must never
+// change after it is first reported (the executor enforces this).
+//
+// Devices must be deterministic: identical Init arguments and inbox
+// sequences must yield identical outboxes, snapshots, and outputs. This
+// is the paper's base model; seeded pseudo-randomness is permitted
+// because the seed is part of the device, making the composite
+// deterministic (the Section 3 nondeterminism remark is exercised this
+// way).
+type Device interface {
+	Init(self string, neighbors []string, input Input)
+	Step(round int, inbox Inbox) Outbox
+	Snapshot() string
+	Output() (Decision, bool)
+}
+
+// Builder constructs a fresh device instance for a named node. Installing
+// a protocol on a covering graph instantiates the same builder at every
+// node of the fiber, which is exactly the paper's "assign devices to
+// nodes of S according to their corresponding node in G".
+type Builder func(self string, neighbors []string, input Input) Device
+
+// Protocol assigns a device builder and an input to every node of a
+// graph.
+type Protocol struct {
+	Builders map[string]Builder
+	Inputs   map[string]Input
+}
+
+// System is a communication graph with a device and input assigned to
+// every node — the paper's "system".
+type System struct {
+	G       *graph.Graph
+	Devices []Device // indexed by node
+	Inputs  []Input  // indexed by node
+}
+
+// NewSystem instantiates a protocol on a graph. Every node must have a
+// builder and an input.
+func NewSystem(g *graph.Graph, p Protocol) (*System, error) {
+	sys := &System{
+		G:       g,
+		Devices: make([]Device, g.N()),
+		Inputs:  make([]Input, g.N()),
+	}
+	for u := 0; u < g.N(); u++ {
+		name := g.Name(u)
+		b, ok := p.Builders[name]
+		if !ok {
+			return nil, fmt.Errorf("sim: no device builder for node %q", name)
+		}
+		input, ok := p.Inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("sim: no input for node %q", name)
+		}
+		sys.Inputs[u] = input
+		sys.Devices[u] = b(name, neighborNames(g, u), input)
+	}
+	return sys, nil
+}
+
+func neighborNames(g *graph.Graph, u int) []string {
+	nbs := g.Neighbors(u)
+	names := make([]string, len(nbs))
+	for i, v := range nbs {
+		names[i] = g.Name(v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run is a recorded system behavior: every node behavior (snapshot
+// sequence and decision) and every edge behavior (payload per round).
+type Run struct {
+	G         *graph.Graph
+	Rounds    int
+	Inputs    []Input
+	Snapshots [][]string               // Snapshots[u][r] = state of node u after round r
+	Edges     map[graph.Edge][]Payload // Edges[e][r] = payload carried in round r
+	Decisions []Decision               // zero Value when the node never decided
+}
+
+// Execute runs the system for the given number of rounds and records the
+// complete behavior. Messages sent in round r are delivered in round r+1;
+// the inbox of round 0 is empty.
+func Execute(sys *System, rounds int) (*Run, error) {
+	g := sys.G
+	run := &Run{
+		G:         g,
+		Rounds:    rounds,
+		Inputs:    append([]Input(nil), sys.Inputs...),
+		Snapshots: make([][]string, g.N()),
+		Edges:     make(map[graph.Edge][]Payload, 2*g.NumEdges()),
+		Decisions: make([]Decision, g.N()),
+	}
+	for _, e := range g.DirectedEdges() {
+		run.Edges[e] = make([]Payload, rounds)
+	}
+	inboxes := make([]Inbox, g.N())
+	for u := 0; u < g.N(); u++ {
+		inboxes[u] = Inbox{}
+		run.Snapshots[u] = make([]string, rounds)
+	}
+	for r := 0; r < rounds; r++ {
+		next := make([]Inbox, g.N())
+		for u := 0; u < g.N(); u++ {
+			next[u] = Inbox{}
+		}
+		for u := 0; u < g.N(); u++ {
+			out := sys.Devices[u].Step(r, inboxes[u])
+			for to, payload := range out {
+				v, ok := g.Index(to)
+				if !ok || !g.HasEdge(u, v) {
+					return nil, fmt.Errorf("sim: node %s sent to non-neighbor %q in round %d",
+						g.Name(u), to, r)
+				}
+				if payload == None {
+					continue
+				}
+				run.Edges[graph.Edge{From: g.Name(u), To: to}][r] = payload
+				next[v][g.Name(u)] = payload
+			}
+			run.Snapshots[u][r] = sys.Devices[u].Snapshot()
+			if d, ok := sys.Devices[u].Output(); ok {
+				if run.Decisions[u].Value != "" && run.Decisions[u].Value != d.Value {
+					return nil, fmt.Errorf("sim: node %s changed its decision from %q to %q",
+						g.Name(u), run.Decisions[u].Value, d.Value)
+				}
+				if run.Decisions[u].Value == "" {
+					run.Decisions[u] = Decision{Value: d.Value, Round: r}
+				}
+			}
+		}
+		inboxes = next
+	}
+	return run, nil
+}
+
+// MustExecute is Execute for known-good systems; it panics on error.
+func MustExecute(sys *System, rounds int) *Run {
+	run, err := Execute(sys, rounds)
+	if err != nil {
+		panic(err)
+	}
+	return run
+}
+
+// EdgeBehavior returns the payload sequence carried by the directed edge,
+// or an error if the edge does not exist in the run's graph.
+func (r *Run) EdgeBehavior(from, to string) ([]Payload, error) {
+	seq, ok := r.Edges[graph.Edge{From: from, To: to}]
+	if !ok {
+		return nil, fmt.Errorf("sim: run has no edge %s->%s", from, to)
+	}
+	return seq, nil
+}
+
+// DecisionOf returns the decision of the named node.
+func (r *Run) DecisionOf(name string) (Decision, error) {
+	u, ok := r.G.Index(name)
+	if !ok {
+		return Decision{}, fmt.Errorf("sim: run has no node %q", name)
+	}
+	return r.Decisions[u], nil
+}
+
+// SnapshotsOf returns the snapshot sequence of the named node.
+func (r *Run) SnapshotsOf(name string) ([]string, error) {
+	u, ok := r.G.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: run has no node %q", name)
+	}
+	return r.Snapshots[u], nil
+}
+
+// String summarizes decisions, for debugging and reports.
+func (r *Run) String() string {
+	var b strings.Builder
+	for u := 0; u < r.G.N(); u++ {
+		d := r.Decisions[u]
+		if d.Value == "" {
+			fmt.Fprintf(&b, "%s: undecided\n", r.G.Name(u))
+		} else {
+			fmt.Fprintf(&b, "%s: %s @r%d\n", r.G.Name(u), d.Value, d.Round)
+		}
+	}
+	return b.String()
+}

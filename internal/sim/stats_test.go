@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"flm/internal/graph"
+)
+
+func TestCollectStats(t *testing.T) {
+	g := graph.Triangle()
+	inputs := map[string]Input{"a": "0", "b": "1", "c": "0"}
+	sys, err := NewSystem(g, gossipProtocol(g, 2, inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := MustExecute(sys, 3)
+	st := CollectStats(run)
+	if st.Rounds != 3 {
+		t.Errorf("Rounds = %d", st.Rounds)
+	}
+	// Gossip devices send on every edge every round: 6 directed edges x
+	// 3 rounds.
+	if st.Messages != 18 {
+		t.Errorf("Messages = %d, want 18", st.Messages)
+	}
+	if st.Bytes <= 0 || st.MaxPayload <= 0 {
+		t.Errorf("Bytes = %d MaxPayload = %d", st.Bytes, st.MaxPayload)
+	}
+	sum := 0
+	for _, m := range st.PerRoundMsgs {
+		sum += m
+	}
+	if sum != st.Messages {
+		t.Errorf("per-round messages sum %d != total %d", sum, st.Messages)
+	}
+	sumB := 0
+	for _, b := range st.PerRoundBytes {
+		sumB += b
+	}
+	if sumB != st.Bytes {
+		t.Errorf("per-round bytes sum %d != total %d", sumB, st.Bytes)
+	}
+	if !strings.Contains(st.String(), "messages=18") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestTrace(t *testing.T) {
+	g := graph.Line(2)
+	sys, err := NewSystem(g, gossipProtocol(g, 1, map[string]Input{"l0": "x", "l1": "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := MustExecute(sys, 2)
+	trace := Trace(run, 5)
+	for _, want := range []string{"round 0:", "round 1:", "l0->l1:", "…"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+	// Unlimited width: no truncation marker.
+	if strings.Contains(Trace(run, 0), "…") {
+		t.Error("width 0 truncated")
+	}
+}

@@ -1,0 +1,340 @@
+// Package timedsim is the continuous-time execution model for the FLM85
+// clock synchronization results (Section 7). Nodes carry hardware clocks
+// (exact rational affine functions of real time) and act only at hardware
+// ticks — real times t with D(t) = kΔ — so every aspect of timing derives
+// from hardware clock states. Messages are delivered instantly but are
+// consumable only at receiver ticks strictly later than the send time.
+//
+// Because all scheduling is exact rational arithmetic and all behavior is
+// clock-driven, the model satisfies the paper's Scaling axiom exactly:
+// composing every hardware clock with an increasing affine h reparametrizes
+// all event times by h⁻¹ and changes no tick's observable state. The
+// Locality and Fault axioms hold as in the synchronous model: state
+// updates depend only on local inbox contents, and scripted senders can
+// replay any recorded edge behavior.
+package timedsim
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"flm/internal/clockfn"
+	"flm/internal/graph"
+)
+
+// Message is a delivered payload with its exact send time.
+type Message struct {
+	From    string
+	Payload string
+	SentAt  *big.Rat
+}
+
+// Send is an outgoing payload addressed to a neighbor.
+type Send struct {
+	To      string
+	Payload string
+}
+
+// Device is a clock-synchronization device: it acts at hardware ticks and
+// exposes a logical clock that is a function of its state and the current
+// hardware reading.
+type Device interface {
+	Init(self string, neighbors []string)
+	// Tick is invoked at the device's k-th hardware tick with the exact
+	// hardware reading and the messages that became consumable since the
+	// previous tick (sorted by send time, then sender).
+	Tick(k int, hw *big.Rat, inbox []Message) []Send
+	// Logical returns the logical clock value for a given hardware
+	// reading, using the device's current correction state.
+	Logical(hw *big.Rat) float64
+	// Snapshot canonically encodes the device state.
+	Snapshot() string
+}
+
+// ScriptedSend is one replayed transmission of a faulty node.
+type ScriptedSend struct {
+	At      *big.Rat
+	To      string
+	Payload string
+}
+
+// Node configures one node: either a Device (correct) or a Script
+// (faulty replay, the Fault axiom device for the timed model). Every node
+// has a hardware clock.
+type Node struct {
+	Device Device
+	Script []ScriptedSend
+	Clock  clockfn.RatLinear
+}
+
+// System is a communication graph with timed nodes and a tick spacing
+// Delta (in hardware-clock units). RealDelay, when non-nil and positive,
+// imposes a minimum REAL-TIME transmission delay on every message. The
+// paper's Scaling axiom then fails — real-time delays do not scale with
+// the hardware clocks — which is exactly the weakening FLM85 names as
+// making clock synchronization potentially possible on inadequate
+// graphs; TestScalingAxiomBrokenByRealDelay demonstrates the failure.
+type System struct {
+	G         *graph.Graph
+	Nodes     []Node
+	Delta     *big.Rat
+	RealDelay *big.Rat
+}
+
+// TickRecord is one observed tick of one node.
+type TickRecord struct {
+	Index    int
+	Time     *big.Rat // real time
+	HW       *big.Rat // hardware reading (= Index * Delta)
+	Snapshot string
+	Logical  float64
+}
+
+// SendRecord is one observed transmission on a directed edge.
+type SendRecord struct {
+	At      *big.Rat
+	Payload string
+}
+
+// Run is a recorded timed system behavior.
+type Run struct {
+	G            *graph.Graph
+	Until        *big.Rat
+	Ticks        [][]TickRecord
+	Sends        map[graph.Edge][]SendRecord
+	FinalLogical []float64  // logical clocks evaluated at time Until
+	FinalHW      []*big.Rat // hardware readings at time Until
+}
+
+// Execute runs the system from real time 0 through real time until
+// (inclusive) and records the behavior.
+func Execute(sys *System, until *big.Rat) (*Run, error) {
+	g := sys.G
+	if len(sys.Nodes) != g.N() {
+		return nil, fmt.Errorf("timedsim: %d nodes configured for %d-node graph", len(sys.Nodes), g.N())
+	}
+	if sys.Delta == nil || sys.Delta.Sign() <= 0 {
+		return nil, fmt.Errorf("timedsim: tick spacing must be positive")
+	}
+	run := &Run{
+		G:            g,
+		Until:        new(big.Rat).Set(until),
+		Ticks:        make([][]TickRecord, g.N()),
+		Sends:        make(map[graph.Edge][]SendRecord),
+		FinalLogical: make([]float64, g.N()),
+		FinalHW:      make([]*big.Rat, g.N()),
+	}
+	pending := make([][]Message, g.N())
+
+	// nextTick[k] for device nodes: the next tick index; -1 for script
+	// nodes. scriptPos for script nodes. nextTickTime caches the real
+	// time of the next tick so the event scan does no clock arithmetic.
+	nextTick := make([]int64, g.N())
+	nextTickTime := make([]*big.Rat, g.N())
+	scriptPos := make([]int, g.N())
+	tickTime := func(u int, k int64) *big.Rat {
+		hw := new(big.Rat).SetInt64(k)
+		hw.Mul(hw, sys.Delta)
+		return sys.Nodes[u].Clock.Inv(hw)
+	}
+	for u := 0; u < g.N(); u++ {
+		node := sys.Nodes[u]
+		if node.Clock.Rate == nil || node.Clock.Rate.Sign() <= 0 {
+			return nil, fmt.Errorf("timedsim: node %s lacks an increasing hardware clock", g.Name(u))
+		}
+		if node.Device != nil {
+			node.Device.Init(g.Name(u), neighborNames(g, u))
+			// Devices begin at hardware clock 0: tick k happens when the
+			// hardware reads k*Delta, wherever that falls in (possibly
+			// negative) real time. Anchoring to hardware rather than
+			// real time is what makes the Scaling axiom hold exactly —
+			// real time is unobservable in this model.
+			nextTick[u] = 0
+			nextTickTime[u] = tickTime(u, 0)
+		} else {
+			nextTick[u] = -1
+			// Scripts must be sorted by time for deterministic replay.
+			script := node.Script
+			sorted := sort.SliceIsSorted(script, func(i, j int) bool {
+				return script[i].At.Cmp(script[j].At) < 0
+			})
+			if !sorted {
+				return nil, fmt.Errorf("timedsim: script for node %s not sorted by time", g.Name(u))
+			}
+		}
+	}
+
+	for {
+		// Find the earliest event: a device tick or a scripted send.
+		bestNode, bestIsTick := -1, false
+		var bestTime *big.Rat
+		for u := 0; u < g.N(); u++ {
+			node := sys.Nodes[u]
+			if node.Device != nil {
+				t := nextTickTime[u]
+				if t.Cmp(until) > 0 {
+					continue
+				}
+				if bestTime == nil || t.Cmp(bestTime) < 0 {
+					bestTime, bestNode, bestIsTick = t, u, true
+				}
+			} else if scriptPos[u] < len(node.Script) {
+				t := node.Script[scriptPos[u]].At
+				if t.Cmp(until) > 0 {
+					continue
+				}
+				if bestTime == nil || t.Cmp(bestTime) < 0 {
+					bestTime, bestNode, bestIsTick = t, u, false
+				}
+			}
+		}
+		if bestNode < 0 {
+			break
+		}
+		u, now := bestNode, bestTime
+		node := sys.Nodes[u]
+		if bestIsTick {
+			k := nextTick[u]
+			hw := new(big.Rat).SetInt64(k)
+			hw.Mul(hw, sys.Delta)
+			inbox, rest := splitConsumable(pending[u], now, sys.RealDelay)
+			pending[u] = rest
+			sends := node.Device.Tick(int(k), hw, inbox)
+			for _, s := range sends {
+				v, ok := g.Index(s.To)
+				if !ok || !g.HasEdge(u, v) {
+					return nil, fmt.Errorf("timedsim: node %s sent to non-neighbor %q", g.Name(u), s.To)
+				}
+				msg := Message{From: g.Name(u), Payload: s.Payload, SentAt: new(big.Rat).Set(now)}
+				pending[v] = append(pending[v], msg)
+				e := graph.Edge{From: g.Name(u), To: s.To}
+				run.Sends[e] = append(run.Sends[e], SendRecord{At: msg.SentAt, Payload: s.Payload})
+			}
+			run.Ticks[u] = append(run.Ticks[u], TickRecord{
+				Index:    int(k),
+				Time:     new(big.Rat).Set(now),
+				HW:       hw,
+				Snapshot: node.Device.Snapshot(),
+				Logical:  node.Device.Logical(hw),
+			})
+			nextTick[u] = k + 1
+			nextTickTime[u] = tickTime(u, k+1)
+		} else {
+			s := node.Script[scriptPos[u]]
+			scriptPos[u]++
+			v, ok := g.Index(s.To)
+			if !ok || !g.HasEdge(u, v) {
+				return nil, fmt.Errorf("timedsim: script for %s sends to non-neighbor %q", g.Name(u), s.To)
+			}
+			msg := Message{From: g.Name(u), Payload: s.Payload, SentAt: new(big.Rat).Set(s.At)}
+			pending[v] = append(pending[v], msg)
+			e := graph.Edge{From: g.Name(u), To: s.To}
+			run.Sends[e] = append(run.Sends[e], SendRecord{At: msg.SentAt, Payload: s.Payload})
+		}
+	}
+
+	for u := 0; u < g.N(); u++ {
+		node := sys.Nodes[u]
+		run.FinalHW[u] = node.Clock.At(until)
+		if node.Device != nil {
+			run.FinalLogical[u] = node.Device.Logical(run.FinalHW[u])
+		}
+	}
+	return run, nil
+}
+
+// splitConsumable returns the pending messages whose (send time + real
+// delay) is strictly before now (sorted deterministically) and the
+// remainder.
+func splitConsumable(pending []Message, now, realDelay *big.Rat) (inbox, rest []Message) {
+	for _, m := range pending {
+		due := m.SentAt
+		if realDelay != nil && realDelay.Sign() > 0 {
+			due = new(big.Rat).Add(m.SentAt, realDelay)
+		}
+		if due.Cmp(now) < 0 {
+			inbox = append(inbox, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	sort.SliceStable(inbox, func(i, j int) bool {
+		if c := inbox[i].SentAt.Cmp(inbox[j].SentAt); c != 0 {
+			return c < 0
+		}
+		if inbox[i].From != inbox[j].From {
+			return inbox[i].From < inbox[j].From
+		}
+		return inbox[i].Payload < inbox[j].Payload
+	})
+	return inbox, rest
+}
+
+func neighborNames(g *graph.Graph, u int) []string {
+	nbs := g.Neighbors(u)
+	names := make([]string, len(nbs))
+	for i, v := range nbs {
+		names[i] = g.Name(v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TicksOf returns the tick records of the named node.
+func (r *Run) TicksOf(name string) ([]TickRecord, error) {
+	u, ok := r.G.Index(name)
+	if !ok {
+		return nil, fmt.Errorf("timedsim: run has no node %q", name)
+	}
+	return r.Ticks[u], nil
+}
+
+// LogicalOf returns the named node's logical clock value at time Until.
+func (r *Run) LogicalOf(name string) (float64, error) {
+	u, ok := r.G.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("timedsim: run has no node %q", name)
+	}
+	return r.FinalLogical[u], nil
+}
+
+// renamedDevice adapts a device built for a node of G to run at a node of
+// a covering graph S, translating neighbor names both ways (the timed
+// counterpart of the synchronous renamer).
+type renamedDevice struct {
+	inner Device
+	toG   map[string]string
+	toS   map[string]string
+}
+
+var _ Device = (*renamedDevice)(nil)
+
+// Renamed wraps a device with an S-name/G-name translation.
+func Renamed(inner Device, toG, toS map[string]string) Device {
+	return &renamedDevice{inner: inner, toG: toG, toS: toS}
+}
+
+func (d *renamedDevice) Init(self string, neighbors []string) {
+	// Inner device is initialized by the caller with its G-identity.
+}
+
+func (d *renamedDevice) Tick(k int, hw *big.Rat, inbox []Message) []Send {
+	gInbox := make([]Message, 0, len(inbox))
+	for _, m := range inbox {
+		if gFrom, ok := d.toG[m.From]; ok {
+			gInbox = append(gInbox, Message{From: gFrom, Payload: m.Payload, SentAt: m.SentAt})
+		}
+	}
+	sends := d.inner.Tick(k, hw, gInbox)
+	out := make([]Send, 0, len(sends))
+	for _, s := range sends {
+		if sTo, ok := d.toS[s.To]; ok {
+			out = append(out, Send{To: sTo, Payload: s.Payload})
+		}
+	}
+	return out
+}
+
+func (d *renamedDevice) Logical(hw *big.Rat) float64 { return d.inner.Logical(hw) }
+func (d *renamedDevice) Snapshot() string            { return d.inner.Snapshot() }
