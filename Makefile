@@ -1,0 +1,23 @@
+# Verification gates (see ROADMAP.md).
+#
+# verify       tier-1: build + full test suite
+# verify-race  extended: vet + race-enabled tests; FLM_WORKERS forces the
+#              parallel sweep path so the race detector sees real
+#              concurrency even on single-core runners
+# bench        refresh the BENCH_<date>.json perf snapshot
+
+GO ?= go
+RACE_WORKERS ?= 4
+
+.PHONY: verify verify-race bench
+
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+verify-race: verify
+	$(GO) vet ./...
+	FLM_WORKERS=$(RACE_WORKERS) $(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/flm bench

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math/big"
 	"testing"
+
+	"flm/internal/sweep"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -299,6 +301,59 @@ func BenchmarkClockRingGeneral(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- sweep engine: sequential vs parallel fan-out ---
+
+// The E17 frontier census is the hottest sweep in the suite (every zoo
+// graph x bit patterns x faulty candidates x attack panel). workers=1
+// pins the sequential baseline; workers=0 resolves to FLM_WORKERS or
+// GOMAXPROCS, so on a multi-core runner the second sub-benchmark shows
+// the parallel speedup directly.
+func BenchmarkSweepE17Census(b *testing.B) {
+	e, ok := FindExperiment("E17")
+	if !ok {
+		b.Fatal("no experiment E17")
+	}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			defer sweep.SetWorkers(sweep.SetWorkers(c.workers))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Execute recording modes on one EIG trial: fast mode skips snapshot and
+// edge recording, the allocation delta is the cost of full recording.
+func BenchmarkExecuteRecordingModes(b *testing.B) {
+	g := Complete(10)
+	honest := NewEIG(3, g.Names())
+	inputs := map[string]Input{}
+	for i, name := range g.Names() {
+		inputs[name] = BoolInput(i%2 == 0)
+	}
+	for _, c := range []struct {
+		name string
+		opts ExecuteOpts
+	}{{"full", FullRecording}, {"fast", ExecuteOpts{}}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				trial := ByzantineTrial{G: g, Inputs: inputs, Honest: honest, Rounds: EIGRounds(3)}
+				if _, _, rep, err := trial.RunWith(c.opts); err != nil || !rep.OK() {
+					b.Fatalf("rep=%v err=%v", rep, err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkDLPSWRound(b *testing.B) {

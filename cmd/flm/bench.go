@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"flm"
+	"flm/internal/sweep"
+)
+
+// The bench subcommand is the repository's perf-regression tool: it runs
+// the E1-E17 experiment suite (the exact code that regenerates
+// EXPERIMENTS.md) plus a handful of micro workloads, and writes a
+// machine-readable BENCH_<date>.json so successive PRs leave a perf
+// trajectory that can be diffed instead of guessed at.
+
+// BenchEntry is one benchmarked workload.
+type BenchEntry struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Runs        int    `json:"runs"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+}
+
+// BenchReport is the whole file: environment header plus entries.
+type BenchReport struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"sweep_workers"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// measure times fn over the given number of runs and reports per-op
+// wall-clock and allocation figures from the runtime's allocator
+// counters. A GC fence before the timed region keeps prior garbage out
+// of the numbers; background allocation noise is small compared to the
+// millions of allocations per experiment.
+func measure(id, name string, runs int, fn func() error) (BenchEntry, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if err := fn(); err != nil {
+			return BenchEntry{}, fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchEntry{
+		ID:          id,
+		Name:        name,
+		Runs:        runs,
+		NsPerOp:     elapsed.Nanoseconds() / int64(runs),
+		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(runs),
+		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(runs),
+	}, nil
+}
+
+func cmdBench(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	outPath := fs.String("o", "", "output JSON path (default BENCH_<date>.json)")
+	runs := fs.Int("runs", 3, "iterations per workload")
+	workers := fs.Int("workers", 0, "sweep worker count (0 = FLM_WORKERS env or GOMAXPROCS)")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *runs < 1 {
+		fmt.Fprintln(out, "bench: -runs must be >= 1")
+		return 2
+	}
+	prev := sweep.SetWorkers(*workers)
+	defer sweep.SetWorkers(prev)
+
+	date := time.Now().Format("2006-01-02")
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+	// Open the output before the (minutes-long) suite so a bad path
+	// fails now, not after the benchmarks have run.
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(out, "bench: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+
+	report := BenchReport{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    sweep.Workers(),
+	}
+
+	for _, e := range flm.Experiments() {
+		exp := e
+		entry, err := measure(exp.ID, exp.Name, *runs, func() error {
+			_, err := exp.Run()
+			return err
+		})
+		if err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "%-28s %12d ns/op %12d allocs/op %14d B/op\n",
+			entry.ID, entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp)
+		report.Entries = append(report.Entries, entry)
+	}
+
+	for _, m := range microBenches() {
+		entry, err := measure(m.id, m.name, *runs, m.fn)
+		if err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "%-28s %12d ns/op %12d allocs/op %14d B/op\n",
+			entry.ID, entry.NsPerOp, entry.AllocsPerOp, entry.BytesPerOp)
+		report.Entries = append(report.Entries, entry)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(out, "bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if _, err := f.Write(data); err != nil {
+		fmt.Fprintf(out, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "wrote %s (%d entries)\n", path, len(report.Entries))
+	return 0
+}
+
+type microBench struct {
+	id, name string
+	fn       func() error
+}
+
+// microBenches are the substrate workloads tracked alongside the
+// experiment suite: the raw simulator hot path (full vs fast recording)
+// and the sweep engine at 1 worker vs the configured fan-out.
+func microBenches() []microBench {
+	eigTrial := func(opts flm.ExecuteOpts) func() error {
+		return func() error {
+			g := flm.Complete(10)
+			honest := flm.NewEIG(3, g.Names())
+			inputs := map[string]flm.Input{}
+			for i, name := range g.Names() {
+				inputs[name] = flm.BoolInput(i%2 == 0)
+			}
+			trial := flm.ByzantineTrial{G: g, Inputs: inputs, Honest: honest, Rounds: flm.EIGRounds(3)}
+			_, _, rep, err := trial.RunWith(opts)
+			if err != nil {
+				return err
+			}
+			if !rep.OK() {
+				return fmt.Errorf("eig trial failed: %v", rep.Err())
+			}
+			return nil
+		}
+	}
+	censusSweep := func(workers int) func() error {
+		e17, ok := flm.FindExperiment("E17")
+		return func() error {
+			if !ok {
+				return fmt.Errorf("experiment E17 not registered")
+			}
+			prev := sweep.SetWorkers(workers)
+			defer sweep.SetWorkers(prev)
+			_, err := e17.Run()
+			return err
+		}
+	}
+	return []microBench{
+		{"micro:eig-n10-f3-full", "EIG trial, full recording", eigTrial(flm.FullRecording)},
+		{"micro:eig-n10-f3-fast", "EIG trial, decision-only fast mode", eigTrial(flm.ExecuteOpts{})},
+		{"micro:e17-census-seq", "E17 frontier census, 1 sweep worker", censusSweep(1)},
+		{"micro:e17-census-par", "E17 frontier census, default sweep workers", censusSweep(0)},
+	}
+}

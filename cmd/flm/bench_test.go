@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchFlagErrors(t *testing.T) {
+	if out, code := capture(t, "bench", "-runs", "0"); code != 2 || !strings.Contains(out, "-runs") {
+		t.Errorf("runs=0 accepted: exit %d, %q", code, out)
+	}
+	if _, code := capture(t, "bench", "-bogus"); code != 2 {
+		t.Error("unknown flag accepted")
+	}
+}
+
+var benchSink []byte
+
+func TestMeasureReportsPerOp(t *testing.T) {
+	calls := 0
+	entry, err := measure("x", "", 4, func() error {
+		calls++
+		benchSink = make([]byte, 1<<16)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Errorf("fn called %d times, want 4", calls)
+	}
+	if entry.Runs != 4 || entry.BytesPerOp < 1<<16 {
+		t.Errorf("implausible entry: %+v", entry)
+	}
+}
+
+func TestBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks every experiment")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out, code := capture(t, "bench", "-runs", "1", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, e := range report.Entries {
+		ids[e.ID] = true
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive ns/op", e.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E17", "micro:e17-census-seq", "micro:e17-census-par"} {
+		if !ids[want] {
+			t.Errorf("report missing entry %s", want)
+		}
+	}
+	if report.GoVersion == "" || report.Workers < 1 {
+		t.Errorf("incomplete metadata: %+v", report)
+	}
+}

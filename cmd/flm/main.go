@@ -43,6 +43,8 @@ func run(args []string, out io.Writer) int {
 		return cmdDot(args[1:], out)
 	case "trace":
 		return cmdTrace(args[1:], out)
+	case "bench":
+		return cmdBench(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return 0
@@ -57,13 +59,15 @@ func usage(out io.Writer) {
 	fmt.Fprintln(out, `flm — Fischer-Lynch-Merritt 1985 reproduction harness
 
 commands:
-  list                 list registered experiments (E1-E14)
+  list                 list registered experiments (E1-E17)
   run <id> [<id>...]   run specific experiments
   all [-o file]        run every experiment (tee to file with -o)
   adequacy <n> <f>     adequacy report for the complete graph K_n
   prove <device>       defeat a device with the hexagon argument
   dot <cover> [m]      Graphviz DOT of a covering (hex|diamond|ring)
-  trace <device>       round-by-round traffic of the hexagon covering run`)
+  trace <device>       round-by-round traffic of the hexagon covering run
+  bench [-o file] [-runs n] [-workers n]
+                       benchmark E1-E17 and write BENCH_<date>.json`)
 }
 
 func cmdDot(args []string, out io.Writer) int {

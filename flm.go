@@ -112,12 +112,23 @@ type (
 	Decision = sim.Decision
 )
 
+// ExecuteOpts selects what a simulator execution records. The zero value
+// is the decision-only fast mode used by large attack sweeps; use
+// FullRecording when the run feeds CheckLocality, Extract, or a Prove*
+// chain, which need the complete snapshot and edge history.
+type ExecuteOpts = sim.ExecuteOpts
+
+// FullRecording records snapshots and edge traffic (what Execute does).
+var FullRecording = sim.FullRecording
+
 // Simulation operations.
 var (
 	// NewSystem instantiates a protocol on a graph.
 	NewSystem = sim.NewSystem
 	// Execute runs a system for a number of rounds, recording everything.
 	Execute = sim.Execute
+	// ExecuteWith runs a system with explicit recording options.
+	ExecuteWith = sim.ExecuteWith
 	// ExtractScenario restricts a run to a node subset.
 	ExtractScenario = sim.Extract
 	// CheckLocality verifies the Locality axiom on a concrete run.
@@ -370,7 +381,7 @@ type Experiment = eval.Experiment
 // ExperimentResult is the structured outcome of one experiment.
 type ExperimentResult = eval.Result
 
-// Experiments returns the full experiment registry (E1-E14), one per
+// Experiments returns the full experiment registry (E1-E17), one per
 // theorem, corollary group, or tightness demonstration.
 func Experiments() []Experiment { return eval.Registry() }
 

@@ -1,0 +1,64 @@
+package byzantine
+
+import (
+	"fmt"
+	"testing"
+
+	"flm/internal/adversary"
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// TestFastModeDecisionsMatchFullRecording pins the ExecuteOpts fast path
+// to the full-recording executor on the three real agreement protocols,
+// under a fault: recording must never change what anyone decides.
+func TestFastModeDecisionsMatchFullRecording(t *testing.T) {
+	cases := []struct {
+		name   string
+		n, f   int
+		honest func(g *graph.Graph, f int) sim.Builder
+		rounds func(f int) int
+	}{
+		{"eig", 4, 1, func(g *graph.Graph, f int) sim.Builder { return NewEIG(f, g.Names()) }, EIGRounds},
+		{"phase-king", 5, 1, func(g *graph.Graph, f int) sim.Builder { return NewPhaseKing(f, g.Names()) }, PhaseKingRounds},
+		{"turpin-coan", 4, 1, func(g *graph.Graph, f int) sim.Builder { return NewTurpinCoan(f, g.Names()) }, TurpinCoanRounds},
+	}
+	for _, c := range cases {
+		for _, strat := range adversary.Panel(23) {
+			t.Run(fmt.Sprintf("%s/%s", c.name, strat.Name), func(t *testing.T) {
+				g := graph.Complete(c.n)
+				honest := c.honest(g, c.f)
+				inputs := map[string]sim.Input{}
+				for i, name := range g.Names() {
+					inputs[name] = sim.BoolInput(i%2 == 0)
+				}
+				trial := Trial{
+					G: g, Inputs: inputs, Honest: honest,
+					Faulty: map[string]sim.Builder{g.Name(c.n - 1): strat.Corrupt(honest)},
+					Rounds: c.rounds(c.f),
+				}
+				fullRun, correct, fullRep, err := trial.RunWith(sim.FullRecording)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fastRun, _, fastRep, err := trial.RunWith(sim.ExecuteOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, name := range correct {
+					df, err1 := fullRun.DecisionOf(name)
+					dq, err2 := fastRun.DecisionOf(name)
+					if err1 != nil || err2 != nil {
+						t.Fatal(err1, err2)
+					}
+					if df != dq {
+						t.Errorf("node %s: full %+v vs fast %+v", name, df, dq)
+					}
+				}
+				if fullRep.OK() != fastRep.OK() {
+					t.Errorf("reports disagree: full OK=%v fast OK=%v", fullRep.OK(), fastRep.OK())
+				}
+			})
+		}
+	}
+}

@@ -92,10 +92,19 @@ type Trial struct {
 	Rounds int
 }
 
-// Run executes the trial and checks the agreement conditions over the
-// non-faulty nodes. It returns the run, the correct-node list, and the
-// condition report.
+// Run executes the trial with full recording and checks the agreement
+// conditions over the non-faulty nodes. It returns the run, the
+// correct-node list, and the condition report.
 func (t Trial) Run() (*sim.Run, []string, Report, error) {
+	return t.RunWith(sim.FullRecording)
+}
+
+// RunWith executes the trial with explicit recording options. Sweeps that
+// only inspect decisions (attack panels, tightness censuses) pass the
+// zero ExecuteOpts for the allocation-lean fast path; anything that feeds
+// the run into stats, traces, or the axiom machinery needs
+// sim.FullRecording.
+func (t Trial) RunWith(opts sim.ExecuteOpts) (*sim.Run, []string, Report, error) {
 	p := sim.Protocol{
 		Builders: make(map[string]sim.Builder, t.G.N()),
 		Inputs:   make(map[string]sim.Input, t.G.N()),
@@ -118,7 +127,7 @@ func (t Trial) Run() (*sim.Run, []string, Report, error) {
 	if err != nil {
 		return nil, nil, Report{}, err
 	}
-	run, err := sim.Execute(sys, t.Rounds)
+	run, err := sim.ExecuteWith(sys, t.Rounds, opts)
 	if err != nil {
 		return nil, nil, Report{}, err
 	}

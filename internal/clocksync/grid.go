@@ -1,0 +1,73 @@
+package clocksync
+
+import (
+	"fmt"
+
+	"flm/internal/sweep"
+)
+
+// This file is the parallel grid evaluator for the Corollary 12-15
+// sweeps: a grid is (parameter cases) x (device families), and every
+// cell runs a full Theorem 8 ring argument. Cells are independent — each
+// builds its own timed system from its Params and fresh devices — so the
+// grid fans out through the sweep engine.
+
+// GridCase is one parameter row of a corollary grid.
+type GridCase struct {
+	Name   string
+	Params Params
+}
+
+// GridDevice is one device family evaluated at every grid case. Builders
+// receives the case's Params so the family can adapt (e.g. use the
+// case's lower envelope).
+type GridDevice struct {
+	Name     string
+	Builders func(Params) map[string]Builder
+}
+
+// EvalGrid runs Theorem8 for every (case, device) cell in parallel and
+// returns the results as out[caseIdx][deviceIdx], in the same order the
+// cases and devices were given.
+func EvalGrid(cases []GridCase, devices []GridDevice) ([][]*Result, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("clocksync: grid needs at least one device family")
+	}
+	flat, err := sweep.Map(len(cases)*len(devices), func(k int) (*Result, error) {
+		c := cases[k/len(devices)]
+		d := devices[k%len(devices)]
+		r, err := Theorem8(c.Params, d.Builders(c.Params))
+		if err != nil {
+			return nil, fmt.Errorf("%s / %s: %w", c.Name, d.Name, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*Result, len(cases))
+	for i := range cases {
+		out[i] = flat[i*len(devices) : (i+1)*len(devices)]
+	}
+	return out, nil
+}
+
+// TrivialLowerFamily is the no-communication lower-envelope device family
+// on the triangle ring, for grid sweeps.
+func TrivialLowerFamily() GridDevice {
+	return GridDevice{Name: "trivial-lower", Builders: func(p Params) map[string]Builder {
+		return map[string]Builder{
+			"a": NewTrivialLower(p.L), "b": NewTrivialLower(p.L), "c": NewTrivialLower(p.L),
+		}
+	}}
+}
+
+// ChaseMaxFamily is the agreement-chasing device family on the triangle
+// ring, for grid sweeps.
+func ChaseMaxFamily() GridDevice {
+	return GridDevice{Name: "chase-max", Builders: func(p Params) map[string]Builder {
+		return map[string]Builder{
+			"a": NewChaseMax(p.L), "b": NewChaseMax(p.L), "c": NewChaseMax(p.L),
+		}
+	}}
+}

@@ -12,9 +12,54 @@ import (
 	"flm/internal/graph"
 	"flm/internal/signed"
 	"flm/internal/sim"
+	"flm/internal/sweep"
 	"flm/internal/timedsim"
 	"flm/internal/weak"
 )
+
+// signedSweep is attackSweep for the signed (Dolev-Strong) devices: every
+// trial needs its own signature registry and honest builder, so the whole
+// per-trial setup moves inside the sweep worker. Signature verification is
+// execution-scoped state, which is exactly why these runs keep full
+// recording off but fresh registries on.
+func signedSweep(g *graph.Graph, f int, bitPatterns []int, seed int64) (passed, total int, err error) {
+	names := g.Names()
+	panelSize := len(adversary.Panel(seed))
+	perPattern := len(names) * panelSize
+	trials := len(bitPatterns) * perPattern
+	results, err := sweep.Map(trials, func(i int) (bool, error) {
+		bits := bitPatterns[i/perPattern]
+		rest := i % perPattern
+		badNode := names[rest/panelSize]
+		strat := adversary.Panel(seed)[rest%panelSize]
+		inputs := make(map[string]sim.Input, len(names))
+		for j, name := range names {
+			inputs[name] = sim.BoolInput(bits&(1<<uint(j)) != 0)
+		}
+		reg := signed.NewRegistry()
+		honest := signed.NewDolevStrong(f, names, reg)
+		trial := byzantine.Trial{
+			G: g, Inputs: inputs, Honest: honest,
+			Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
+			Rounds: signed.Rounds(f),
+		}
+		_, _, rep, err := trial.RunWith(sim.ExecuteOpts{})
+		if err != nil {
+			return false, err
+		}
+		return rep.OK(), nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, ok := range results {
+		total++
+		if ok {
+			passed++
+		}
+	}
+	return passed, total, nil
+}
 
 // RunE15 mechanizes the Fault-axiom sensitivity: with per-execution
 // unforgeable signatures, Dolev-Strong agreement works on the very
@@ -42,31 +87,9 @@ func RunE15() (*Result, error) {
 		{graph.Complete(4), 1},
 		{graph.Complete(5), 2},
 	} {
-		passed, total := 0, 0
-		for _, bits := range bitPatternsFor(c.g.N(), 4) {
-			inputs := make(map[string]sim.Input, c.g.N())
-			for i, name := range c.g.Names() {
-				inputs[name] = sim.BoolInput(bits&(1<<uint(i)) != 0)
-			}
-			for _, badNode := range c.g.Names() {
-				for _, strat := range adversary.Panel(37) {
-					reg := signed.NewRegistry()
-					honest := signed.NewDolevStrong(c.f, c.g.Names(), reg)
-					trial := byzantine.Trial{
-						G: c.g, Inputs: inputs, Honest: honest,
-						Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
-						Rounds: signed.Rounds(c.f),
-					}
-					_, _, rep, err := trial.Run()
-					if err != nil {
-						return nil, err
-					}
-					total++
-					if rep.OK() {
-						passed++
-					}
-				}
-			}
+		passed, total, err := signedSweep(c.g, c.f, bitPatternsFor(c.g.N(), 4), 37)
+		if err != nil {
+			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("K%d", c.g.N()), c.g.N(), c.f, fmt.Sprint(c.g.IsAdequate(c.f)), passed, total)
 	}

@@ -664,39 +664,26 @@ func RunE8() (*Result, error) {
 			"communication; claiming any constant α better is defeated by the engine.",
 	}
 	tPrime := big.NewRat(4, 1)
-	cases := []struct {
-		name    string
-		params  clocksync.Params
-		trivial string // closed form of l(q(t))-l(p(t))
-	}{
-		{"Cor 12 (linear envelope)", clocksync.Corollary12(3, 2, 1, 0, 1, 4, 1.5, tPrime), "0.5t"},
-		{"Cor 13 (rate r=3/2, l=t)", clocksync.Corollary13(3, 2, 1, 0, 1.5, tPrime), "0.5t (= art-at)"},
-		{"Cor 14 (offset c=2, l=t)", clocksync.Corollary14(2, 1, 1, 0, 1, tPrime), "2 (= ac)"},
-		{"Cor 15 (rate r=4, l=log2)", clocksync.Corollary15(4, 1, 2.5, big.NewRat(8, 1)), "2 (= log2 r)"},
+	cases := []clocksync.GridCase{
+		{Name: "Cor 12 (linear envelope)", Params: clocksync.Corollary12(3, 2, 1, 0, 1, 4, 1.5, tPrime)},
+		{Name: "Cor 13 (rate r=3/2, l=t)", Params: clocksync.Corollary13(3, 2, 1, 0, 1.5, tPrime)},
+		{Name: "Cor 14 (offset c=2, l=t)", Params: clocksync.Corollary14(2, 1, 1, 0, 1, tPrime)},
+		{Name: "Cor 15 (rate r=4, l=log2)", Params: clocksync.Corollary15(4, 1, 2.5, big.NewRat(8, 1))},
 	}
+	trivialForm := []string{"0.5t", "0.5t (= art-at)", "2 (= ac)", "2 (= log2 r)"} // closed forms of l(q(t))-l(p(t))
 	t := &Table{
 		Title:   "Per-corollary outcome against the trivial and chasing devices",
 		Columns: []string{"corollary", "trivial gap", "gap@t'", "k", "trivial violations", "chase violations"},
 	}
-	for _, c := range cases {
-		tp, _ := c.params.TPrime.Float64()
-		triv, err := clocksync.Theorem8(c.params, map[string]clocksync.Builder{
-			"a": clocksync.NewTrivialLower(c.params.L),
-			"b": clocksync.NewTrivialLower(c.params.L),
-			"c": clocksync.NewTrivialLower(c.params.L),
-		})
-		if err != nil {
-			return nil, err
-		}
-		chase, err := clocksync.Theorem8(c.params, map[string]clocksync.Builder{
-			"a": clocksync.NewChaseMax(c.params.L),
-			"b": clocksync.NewChaseMax(c.params.L),
-			"c": clocksync.NewChaseMax(c.params.L),
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(c.name, c.trivial, c.params.TrivialGap(tp), triv.K, len(triv.Violations), len(chase.Violations))
+	grid, err := clocksync.EvalGrid(cases,
+		[]clocksync.GridDevice{clocksync.TrivialLowerFamily(), clocksync.ChaseMaxFamily()})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		tp, _ := c.Params.TPrime.Float64()
+		triv, chase := grid[i][0], grid[i][1]
+		t.AddRow(c.Name, trivialForm[i], c.Params.TrivialGap(tp), triv.K, len(triv.Violations), len(chase.Violations))
 	}
 	res.Tables = append(res.Tables, t)
 

@@ -12,37 +12,56 @@ import (
 	"flm/internal/firingsquad"
 	"flm/internal/graph"
 	"flm/internal/sim"
+	"flm/internal/sweep"
 	"flm/internal/weak"
 )
 
 // attackSweep runs the trial for every (input pattern, faulty node,
-// strategy) combination and returns passed/total counts.
+// strategy) combination and returns passed/total counts. Trials fan out
+// across sweep.Workers() goroutines; each builds its own inputs, panel
+// strategy, and System, and runs the simulator in decision-only fast
+// mode. Results (including the first failing condition) are collected in
+// trial-index order, so the outcome is identical to the sequential loop.
 func attackSweep(g *graph.Graph, honest sim.Builder, rounds int, bitPatterns []int, seed int64) (passed, total int, firstErr error) {
-	for _, bits := range bitPatterns {
-		inputs := make(map[string]sim.Input, g.N())
-		for i, name := range g.Names() {
-			inputs[name] = sim.BoolInput(bits&(1<<uint(i)) != 0)
+	names := g.Names()
+	panelSize := len(adversary.Panel(seed))
+	perPattern := len(names) * panelSize
+	trials := len(bitPatterns) * perPattern
+	type outcome struct {
+		ok      bool
+		condErr error
+	}
+	results, err := sweep.Map(trials, func(i int) (outcome, error) {
+		bits := bitPatterns[i/perPattern]
+		rest := i % perPattern
+		badNode := names[rest/panelSize]
+		strat := adversary.Panel(seed)[rest%panelSize]
+		inputs := make(map[string]sim.Input, len(names))
+		for j, name := range names {
+			inputs[name] = sim.BoolInput(bits&(1<<uint(j)) != 0)
 		}
-		for _, badNode := range g.Names() {
-			for _, strat := range adversary.Panel(seed) {
-				trial := byzantine.Trial{
-					G:      g,
-					Inputs: inputs,
-					Honest: honest,
-					Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
-					Rounds: rounds,
-				}
-				_, _, rep, err := trial.Run()
-				if err != nil {
-					return passed, total, err
-				}
-				total++
-				if rep.OK() {
-					passed++
-				} else if firstErr == nil {
-					firstErr = rep.Err()
-				}
-			}
+		trial := byzantine.Trial{
+			G:      g,
+			Inputs: inputs,
+			Honest: honest,
+			Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
+			Rounds: rounds,
+		}
+		_, _, rep, err := trial.RunWith(sim.ExecuteOpts{})
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{ok: rep.OK(), condErr: rep.Err()}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, o := range results {
+		total++
+		if o.ok {
+			passed++
+		} else if firstErr == nil {
+			firstErr = o.condErr
 		}
 	}
 	return passed, total, nil

@@ -20,8 +20,13 @@ type Scenario struct {
 	Border    map[graph.Edge][]Payload // inedge border traffic
 }
 
-// Extract returns the scenario of the named nodes in the run.
+// Extract returns the scenario of the named nodes in the run. The run
+// must have been produced with full recording (Execute, not fast-mode
+// ExecuteWith): scenarios are made of snapshots and edge behaviors.
 func Extract(run *Run, nodes []string) (*Scenario, error) {
+	if run.Snapshots == nil || run.Edges == nil {
+		return nil, fmt.Errorf("sim: cannot extract a scenario from a fast-mode run (no snapshots/edges recorded)")
+	}
 	idx := make([]int, 0, len(nodes))
 	inSet := make(map[string]bool, len(nodes))
 	for _, name := range nodes {

@@ -60,6 +60,10 @@ type Outbox map[string]Payload
 //	    out := Step(r, inbox)           // inbox from round r-1 sends
 //	}
 //
+// The Inbox passed to Step is owned by the executor and reused between
+// rounds; devices must read what they need during Step and must not
+// retain the map itself.
+//
 // Snapshot must canonically encode the full device state so that two
 // devices are behaving identically iff their snapshot sequences are
 // equal. Output reports the device's choice once made; it must never
@@ -144,58 +148,178 @@ type Run struct {
 	Decisions []Decision               // zero Value when the node never decided
 }
 
+// ExecuteOpts selects what ExecuteWith records. The zero value is the
+// fast mode: only decisions are tracked. Axiom verification (CheckLocality
+// and every Prove* chain) requires full recording; decision-only sweeps
+// (attack panels, tightness censuses) use the fast mode.
+type ExecuteOpts struct {
+	RecordSnapshots bool // populate Run.Snapshots (one string per node per round)
+	RecordEdges     bool // populate Run.Edges (payload sequences per directed edge)
+}
+
+// FullRecording records everything — the behavior of Execute, and the
+// mode required wherever runs feed the Locality/Fault axiom machinery.
+var FullRecording = ExecuteOpts{RecordSnapshots: true, RecordEdges: true}
+
+// sendTarget is a precomputed delivery route: the receiver's node index,
+// the sender's slot in the receiver's mailbox, and (in full recording
+// mode) the edge-behavior sequence to append to.
+type sendTarget struct {
+	v    int
+	slot int
+	seq  []Payload
+}
+
 // Execute runs the system for the given number of rounds and records the
 // complete behavior. Messages sent in round r are delivered in round r+1;
 // the inbox of round 0 is empty.
+//
+// On an execution error (a send to a non-neighbor or a changed decision),
+// Execute finishes recording the failing round for every node and returns
+// the partial Run alongside the error, so the state that produced the
+// error is diagnosable. The partial Run must not be treated as a system
+// behavior — the error is authoritative.
 func Execute(sys *System, rounds int) (*Run, error) {
+	return ExecuteWith(sys, rounds, FullRecording)
+}
+
+// ExecuteWith is Execute with explicit recording options. Runs produced
+// in fast mode carry nil Snapshots/Edges; only Inputs and Decisions are
+// usable. Fast and full runs of the same system are otherwise identical:
+// recording never feeds back into device execution.
+func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 	g := sys.G
+	n := g.N()
 	run := &Run{
 		G:         g,
 		Rounds:    rounds,
 		Inputs:    append([]Input(nil), sys.Inputs...),
-		Snapshots: make([][]string, g.N()),
-		Edges:     make(map[graph.Edge][]Payload, 2*g.NumEdges()),
-		Decisions: make([]Decision, g.N()),
+		Decisions: make([]Decision, n),
 	}
-	for _, e := range g.DirectedEdges() {
-		run.Edges[e] = make([]Payload, rounds)
-	}
-	inboxes := make([]Inbox, g.N())
-	for u := 0; u < g.N(); u++ {
-		inboxes[u] = Inbox{}
-		run.Snapshots[u] = make([]string, rounds)
-	}
-	for r := 0; r < rounds; r++ {
-		next := make([]Inbox, g.N())
-		for u := 0; u < g.N(); u++ {
-			next[u] = Inbox{}
+	if opts.RecordSnapshots {
+		run.Snapshots = make([][]string, n)
+		snapBuf := make([]string, n*rounds)
+		for u := 0; u < n; u++ {
+			run.Snapshots[u] = snapBuf[u*rounds : (u+1)*rounds : (u+1)*rounds]
 		}
-		for u := 0; u < g.N(); u++ {
-			out := sys.Devices[u].Step(r, inboxes[u])
-			for to, payload := range out {
-				v, ok := g.Index(to)
-				if !ok || !g.HasEdge(u, v) {
-					return nil, fmt.Errorf("sim: node %s sent to non-neighbor %q in round %d",
-						g.Name(u), to, r)
-				}
-				if payload == None {
-					continue
-				}
-				run.Edges[graph.Edge{From: g.Name(u), To: to}][r] = payload
-				next[v][g.Name(u)] = payload
+	}
+	if opts.RecordEdges {
+		run.Edges = make(map[graph.Edge][]Payload, 2*g.NumEdges())
+		for _, e := range g.DirectedEdges() {
+			run.Edges[e] = make([]Payload, rounds)
+		}
+	}
+
+	// Per-node routing tables, resolved once instead of per message:
+	// adj[u] lists u's neighbor indices, inName[u][s] names the neighbor
+	// occupying slot s of u's mailbox, and send[u] maps an addressee name
+	// to its precomputed delivery route.
+	adj := make([][]int, n)
+	inName := make([][]string, n)
+	slotOf := make([]map[int]int, n) // receiver -> sender index -> slot
+	for u := 0; u < n; u++ {
+		adj[u] = g.Neighbors(u)
+		inName[u] = make([]string, len(adj[u]))
+		slotOf[u] = make(map[int]int, len(adj[u]))
+		for s, v := range adj[u] {
+			inName[u][s] = g.Name(v)
+			slotOf[u][v] = s
+		}
+	}
+	send := make([]map[string]sendTarget, n)
+	for u := 0; u < n; u++ {
+		send[u] = make(map[string]sendTarget, len(adj[u]))
+		for _, v := range adj[u] {
+			t := sendTarget{v: v, slot: slotOf[v][u]}
+			if opts.RecordEdges {
+				t.seq = run.Edges[graph.Edge{From: g.Name(u), To: g.Name(v)}]
 			}
-			run.Snapshots[u][r] = sys.Devices[u].Snapshot()
+			send[u][g.Name(v)] = t
+		}
+	}
+
+	// Two reusable mailbox buffers (node x sender-slot) plus one reusable
+	// Inbox map per node, refilled at the Step boundary. This replaces the
+	// per-round allocation of n fresh Inbox maps.
+	totalDeg := 0
+	for u := 0; u < n; u++ {
+		totalDeg += len(adj[u])
+	}
+	curBuf := make([]Payload, totalDeg)
+	nxtBuf := make([]Payload, totalDeg)
+	cur := make([][]Payload, n)
+	nxt := make([][]Payload, n)
+	inboxes := make([]Inbox, n)
+	off := 0
+	for u := 0; u < n; u++ {
+		d := len(adj[u])
+		cur[u] = curBuf[off : off+d : off+d]
+		nxt[u] = nxtBuf[off : off+d : off+d]
+		off += d
+		inboxes[u] = make(Inbox, d)
+	}
+
+	for r := 0; r < rounds; r++ {
+		var roundErr error
+		for u := 0; u < n; u++ {
+			inbox := inboxes[u]
+			clear(inbox)
+			for s, p := range cur[u] {
+				if p != None {
+					inbox[inName[u][s]] = p
+				}
+			}
+			out := sys.Devices[u].Step(r, inbox)
+			// Validate the whole outbox before delivering anything, so a
+			// bad addressee never leaves a nondeterministically half-
+			// delivered round behind (Outbox iteration order is random).
+			bad := ""
+			for to := range out {
+				if _, ok := send[u][to]; !ok && (bad == "" || to < bad) {
+					bad = to
+				}
+			}
+			if bad != "" {
+				if roundErr == nil {
+					roundErr = fmt.Errorf("sim: node %s sent to non-neighbor %q in round %d",
+						g.Name(u), bad, r)
+				}
+			} else {
+				for to, payload := range out {
+					if payload == None {
+						continue
+					}
+					t := send[u][to]
+					if t.seq != nil {
+						t.seq[r] = payload
+					}
+					nxt[t.v][t.slot] = payload
+				}
+			}
+			if opts.RecordSnapshots {
+				run.Snapshots[u][r] = sys.Devices[u].Snapshot()
+			}
 			if d, ok := sys.Devices[u].Output(); ok {
 				if run.Decisions[u].Value != "" && run.Decisions[u].Value != d.Value {
-					return nil, fmt.Errorf("sim: node %s changed its decision from %q to %q",
-						g.Name(u), run.Decisions[u].Value, d.Value)
-				}
-				if run.Decisions[u].Value == "" {
+					if roundErr == nil {
+						roundErr = fmt.Errorf("sim: node %s changed its decision from %q to %q",
+							g.Name(u), run.Decisions[u].Value, d.Value)
+					}
+				} else if run.Decisions[u].Value == "" {
 					run.Decisions[u] = Decision{Value: d.Value, Round: r}
 				}
 			}
 		}
-		inboxes = next
+		if roundErr != nil {
+			// Every node of the failing round has stepped and (in full
+			// mode) been snapshotted; return the diagnosable partial run.
+			return run, roundErr
+		}
+		cur, nxt = nxt, cur
+		curBuf, nxtBuf = nxtBuf, curBuf
+		for i := range nxtBuf {
+			nxtBuf[i] = None
+		}
 	}
 	return run, nil
 }
@@ -233,6 +357,9 @@ func (r *Run) SnapshotsOf(name string) ([]string, error) {
 	u, ok := r.G.Index(name)
 	if !ok {
 		return nil, fmt.Errorf("sim: run has no node %q", name)
+	}
+	if r.Snapshots == nil {
+		return nil, fmt.Errorf("sim: run recorded no snapshots (fast mode)")
 	}
 	return r.Snapshots[u], nil
 }

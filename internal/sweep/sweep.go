@@ -1,0 +1,133 @@
+// Package sweep is the parallel fan-out engine for the repository's
+// embarrassingly parallel workloads: attack-panel sweeps, bit-pattern
+// enumerations, frontier censuses, and corollary grids. Each trial in
+// those sweeps builds its own System (or timed system), so no mutable
+// state crosses trial boundaries and the only coordination needed is
+// bounded fan-out plus deterministic collection.
+//
+// The engine guarantees:
+//
+//   - results are returned in trial-index order, regardless of which
+//     worker finished first;
+//   - the reported error is the one from the LOWEST failing trial index
+//     (exactly what a sequential loop would have returned first), so
+//     parallel and sequential sweeps are observationally identical;
+//   - once a trial fails, workers stop picking up new trials (first-error
+//     cancellation), but already-running trials complete;
+//   - fan-out is bounded by Workers() goroutines per call.
+package sweep
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkersEnv is the environment variable that overrides the worker count
+// for every sweep (0 or unset means GOMAXPROCS). The cmd/flm binary also
+// exposes this as a flag.
+const WorkersEnv = "FLM_WORKERS"
+
+// overrideWorkers is a process-wide override set by SetWorkers; 0 means
+// "use the environment / GOMAXPROCS".
+var overrideWorkers atomic.Int64
+
+// SetWorkers fixes the worker count for subsequent sweeps (n <= 0
+// restores the default resolution order). It returns the previous
+// override. Intended for the CLI flag and for tests that pin parallelism.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(overrideWorkers.Swap(int64(n)))
+}
+
+// Workers reports the number of workers a sweep will use: the SetWorkers
+// override if set, else FLM_WORKERS if set to a positive integer, else
+// GOMAXPROCS.
+func Workers() int {
+	if n := int(overrideWorkers.Load()); n > 0 {
+		return n
+	}
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) across Workers() goroutines and
+// returns the results in index order. If any call returns an error, the
+// sweep is cancelled (no new trials start) and Map returns the error of
+// the lowest failing index together with the full result slice gathered
+// so far; results at indices that never ran are the zero value.
+//
+// fn must be safe to call concurrently with distinct indices. Trials must
+// not share mutable state; everything a trial touches should be built
+// inside fn or be read-only (graphs, builders, parameter structs).
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Sequential fast path: no goroutines, identical semantics.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return results, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // next trial index to claim
+		failed   atomic.Bool  // set once any trial errors
+		mu       sync.Mutex   // guards firstErr/firstIdx
+		firstErr error
+		firstIdx = n
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// Each is Map for trials that produce no result value.
+func Each(n int, fn func(i int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
