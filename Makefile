@@ -5,11 +5,14 @@
 #              parallel sweep path so the race detector sees real
 #              concurrency even on single-core runners
 # bench        refresh the BENCH_<date>.json perf snapshot
+# chaos        the CI smoke run: randomized adversaries, pinned seed
 
 GO ?= go
 RACE_WORKERS ?= 4
+CHAOS_SEED ?= 1
+CHAOS_TRIALS ?= 64
 
-.PHONY: verify verify-race bench
+.PHONY: verify verify-race bench chaos
 
 verify:
 	$(GO) build ./...
@@ -21,3 +24,6 @@ verify-race: verify
 
 bench:
 	$(GO) run ./cmd/flm bench
+
+chaos:
+	$(GO) run ./cmd/flm chaos -seed $(CHAOS_SEED) -trials $(CHAOS_TRIALS)

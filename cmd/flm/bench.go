@@ -14,7 +14,7 @@ import (
 )
 
 // The bench subcommand is the repository's perf-regression tool: it runs
-// the E1-E17 experiment suite (the exact code that regenerates
+// the E1-E18 experiment suite (the exact code that regenerates
 // EXPERIMENTS.md) plus a handful of micro workloads, and writes a
 // machine-readable BENCH_<date>.json so successive PRs leave a perf
 // trajectory that can be diffed instead of guessed at.

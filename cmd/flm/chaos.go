@@ -1,0 +1,47 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"flm"
+)
+
+// cmdChaos runs the randomized adversary harness. Exit status encodes
+// the verdict: 0 when every adequate configuration stayed green
+// (expected violations on inadequate graphs do not fail the run), 1
+// when an adequate configuration was violated or a trial faulted.
+func cmdChaos(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "master seed; every trial derives from (seed, index)")
+	trials := fs.Int("trials", 256, "number of attack schedules to generate and run")
+	timeout := fs.Duration("timeout", flm.ChaosDefaultTimeout, "per-trial wall budget")
+	workers := fs.Int("workers", 0, "parallel trials (0 = FLM_WORKERS or GOMAXPROCS)")
+	noShrink := fs.Bool("noshrink", false, "skip counterexample shrinking")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(out, "chaos: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	rep, err := flm.RunChaos(context.Background(), flm.ChaosConfig{
+		Seed:     *seed,
+		Trials:   *trials,
+		Timeout:  *timeout,
+		Workers:  *workers,
+		NoShrink: *noShrink,
+	})
+	if err != nil {
+		fmt.Fprintf(out, "chaos: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(out, rep.Render())
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosCommand pins the CI smoke invocation: seed 1, 64 trials,
+// exit 0, expected violations present and shrunk, reproduction line
+// printed.
+func TestChaosCommand(t *testing.T) {
+	out, code := capture(t, "chaos", "-seed", "1", "-trials", "64")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"seed=1 trials=64",
+		"unexpected=0",
+		"[expected]",
+		"shrunk to",
+		"reproduce: flm chaos -seed 1 -trials 64",
+		"all adequate configurations green",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Errorf("unexpected failures reported:\n%s", out)
+	}
+}
+
+func TestChaosBadArgs(t *testing.T) {
+	if out, code := capture(t, "chaos", "-trials", "0"); code != 2 {
+		t.Errorf("trials=0: exit %d, want 2:\n%s", code, out)
+	}
+	if out, code := capture(t, "chaos", "stray"); code != 2 || !strings.Contains(out, "unexpected argument") {
+		t.Errorf("stray arg: exit %d:\n%s", code, out)
+	}
+	if out, code := capture(t, "chaos", "-bogus"); code != 2 {
+		t.Errorf("bad flag: exit %d:\n%s", code, out)
+	}
+}
+
+// TestChaosDeterministicOutput: the same invocation renders the same
+// report byte for byte, regardless of worker count.
+func TestChaosDeterministicOutput(t *testing.T) {
+	a, codeA := capture(t, "chaos", "-seed", "7", "-trials", "32", "-noshrink", "-workers", "1")
+	b, codeB := capture(t, "chaos", "-seed", "7", "-trials", "32", "-noshrink", "-workers", "4")
+	if codeA != codeB || a != b {
+		t.Fatalf("reports diverge (exit %d vs %d):\n--- workers=1 ---\n%s--- workers=4 ---\n%s",
+			codeA, codeB, a, b)
+	}
+}

@@ -45,6 +45,8 @@ func run(args []string, out io.Writer) int {
 		return cmdTrace(args[1:], out)
 	case "bench":
 		return cmdBench(args[1:], out)
+	case "chaos":
+		return cmdChaos(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return 0
@@ -59,7 +61,7 @@ func usage(out io.Writer) {
 	fmt.Fprintln(out, `flm — Fischer-Lynch-Merritt 1985 reproduction harness
 
 commands:
-  list                 list registered experiments (E1-E17)
+  list                 list registered experiments (E1-E18)
   run <id> [<id>...]   run specific experiments
   all [-o file]        run every experiment (tee to file with -o)
   adequacy <n> <f>     adequacy report for the complete graph K_n
@@ -67,7 +69,11 @@ commands:
   dot <cover> [m]      Graphviz DOT of a covering (hex|diamond|ring)
   trace <device>       round-by-round traffic of the hexagon covering run
   bench [-o file] [-runs n] [-workers n]
-                       benchmark E1-E17 and write BENCH_<date>.json`)
+                       benchmark the experiments and write BENCH_<date>.json
+  chaos [-seed n] [-trials n] [-timeout d] [-workers n] [-noshrink]
+                       fire seeded randomized adversaries at the protocol
+                       panel; violations on inadequate graphs are expected
+                       and shrunk to minimal counterexamples`)
 }
 
 func cmdDot(args []string, out io.Writer) int {

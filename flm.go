@@ -29,9 +29,12 @@
 package flm
 
 import (
+	"context"
+
 	"flm/internal/adversary"
 	"flm/internal/approx"
 	"flm/internal/byzantine"
+	"flm/internal/chaos"
 	"flm/internal/clockfn"
 	"flm/internal/clocksync"
 	"flm/internal/core"
@@ -41,6 +44,7 @@ import (
 	"flm/internal/graph"
 	"flm/internal/signed"
 	"flm/internal/sim"
+	"flm/internal/sweep"
 	"flm/internal/weak"
 )
 
@@ -148,6 +152,62 @@ var (
 
 // Stats summarizes a run's communication cost.
 type Stats = sim.Stats
+
+// Fault isolation: structured errors for misbehaving devices and trials.
+type (
+	// DeviceFault is a recovered device panic with node/round/operation
+	// attribution and the captured stack.
+	DeviceFault = sim.DeviceFault
+	// ExecError wraps any executor failure with node and round context.
+	ExecError = sim.ExecError
+	// TrialFault is one isolated sweep trial's failure (panic, timeout,
+	// or wrapped error) with trial attribution.
+	TrialFault = sweep.TrialFault
+	// SweepOpts configures an isolated sweep (fan-out, per-trial budget).
+	SweepOpts = sweep.Opts
+)
+
+var (
+	// ExecuteCtx runs a system under a context: cancellation and
+	// deadlines are checked at every round boundary.
+	ExecuteCtx = sim.ExecuteCtx
+	// FirstSweepError recovers the lowest-failing-index error of a sweep.
+	FirstSweepError = sweep.FirstError
+)
+
+// IsolatedSweep runs n independent trials with full fault isolation: a
+// panicking or hanging trial is converted into a *TrialFault for its
+// own index while every other trial completes.
+func IsolatedSweep[T any](ctx context.Context, n int, o SweepOpts, fn func(int) (T, error)) ([]T, []error) {
+	return sweep.Isolated(ctx, n, o, fn)
+}
+
+// Chaos harness: seeded randomized attack schedules against the
+// protocol panel, with counterexample shrinking.
+type (
+	// ChaosConfig parameterizes one chaos run.
+	ChaosConfig = chaos.Config
+	// ChaosReport aggregates a chaos run's findings.
+	ChaosReport = chaos.Report
+	// ChaosFinding is one violation with everything needed to reproduce it.
+	ChaosFinding = chaos.Finding
+	// ChaosSchedule is one fully-determined chaos trial.
+	ChaosSchedule = chaos.Schedule
+)
+
+var (
+	// RunChaos executes a full chaos run (generate, isolate, check, shrink).
+	RunChaos = chaos.Run
+	// NewChaosSchedule derives trial i deterministically from a seed.
+	NewChaosSchedule = chaos.NewSchedule
+	// RunChaosSchedule executes one schedule and checks its conditions.
+	RunChaosSchedule = chaos.RunSchedule
+	// ShrinkChaosSchedule minimizes a violating schedule.
+	ShrinkChaosSchedule = chaos.Shrink
+)
+
+// ChaosDefaultTimeout is the default per-trial wall budget.
+const ChaosDefaultTimeout = chaos.DefaultTimeout
 
 // Byzantine fault strategies for attacking protocols.
 var (
@@ -381,7 +441,7 @@ type Experiment = eval.Experiment
 // ExperimentResult is the structured outcome of one experiment.
 type ExperimentResult = eval.Result
 
-// Experiments returns the full experiment registry (E1-E17), one per
+// Experiments returns the full experiment registry (E1-E18), one per
 // theorem, corollary group, or tightness demonstration.
 func Experiments() []Experiment { return eval.Registry() }
 

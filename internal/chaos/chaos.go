@@ -1,0 +1,178 @@
+// Package chaos is the randomized adversary harness for the FLM85
+// reproduction. The paper's Fault axiom grants faulty nodes *arbitrary*
+// behavior; this package takes that literally: it composes the
+// internal/adversary strategies (crash, omission, noise, equivocation,
+// replay, mirroring) into seeded, deterministic attack schedules, fires
+// them at the protocol panel — EIG, phase king, Turpin-Coan, DLPSW
+// approximate agreement, and clock synchronization — across adequate AND
+// inadequate graphs, and checks each protocol's correctness conditions
+// per run.
+//
+// The expectations are exactly the paper's: on adequate configurations
+// (n >= 3f+1, or 4f+1 for phase king) every schedule must come back
+// green; on inadequate ones, violations are *findings* — concrete
+// counterexamples the harness then shrinks to a minimal set of faulty
+// actions. A violation on an adequate configuration, or an engine fault
+// (panic, timeout), is an unexpected failure and fails the run.
+//
+// Every schedule is a pure function of (master seed, trial index), so a
+// printed seed reproduces its violation bit for bit, on any worker
+// count.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"flm/internal/sweep"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	Seed     int64         // master seed; every trial derives from (Seed, index)
+	Trials   int           // number of schedules to generate and run
+	Timeout  time.Duration // per-trial wall budget (0 = DefaultTimeout)
+	Workers  int           // sweep fan-out (0 = FLM_WORKERS / GOMAXPROCS)
+	NoShrink bool          // skip counterexample shrinking
+}
+
+// DefaultTimeout bounds one trial's wall time; generous next to the
+// microseconds a healthy trial takes, tight enough that a hung device
+// cannot stall a CI job.
+const DefaultTimeout = 10 * time.Second
+
+// Finding is one condition violation (or engine fault) with everything
+// needed to reproduce it.
+type Finding struct {
+	Trial     int
+	Schedule  Schedule
+	Violation string    // the violated condition (or engine fault text)
+	Expected  bool      // true when the configuration is inadequate: the paper predicts this
+	Shrunk    *Schedule // minimal violating schedule (violations only, when shrinking ran)
+}
+
+// Report aggregates a chaos run.
+type Report struct {
+	Seed       int64
+	Trials     int
+	Green      int
+	Expected   []Finding // violations on inadequate configurations
+	Unexpected []Finding // violations on adequate configurations + engine faults
+}
+
+// OK reports whether the run matched the paper's predictions: adequate
+// configurations all green, no engine faults. Expected findings on
+// inadequate graphs do not fail a run — they are its purpose.
+func (r *Report) OK() bool { return len(r.Unexpected) == 0 }
+
+// Run generates cfg.Trials schedules from cfg.Seed, executes them with
+// full fault isolation (a panicking or hanging trial is contained and
+// reported, never fatal), checks each protocol's conditions, and shrinks
+// every violating schedule to a minimal counterexample.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("chaos: need a positive trial count, got %d", cfg.Trials)
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	schedules := make([]Schedule, cfg.Trials)
+	for i := range schedules {
+		schedules[i] = NewSchedule(cfg.Seed, i)
+	}
+	outcomes, errs := sweep.Isolated(ctx, cfg.Trials, sweep.Opts{Workers: cfg.Workers, Timeout: timeout},
+		func(i int) (Outcome, error) {
+			// Condition violations are data, not sweep errors: only
+			// panics/timeouts surface through the error slice.
+			return RunSchedule(schedules[i]), nil
+		})
+
+	rep := &Report{Seed: cfg.Seed, Trials: cfg.Trials}
+	for i := 0; i < cfg.Trials; i++ {
+		s := schedules[i]
+		switch {
+		case errs[i] != nil:
+			rep.Unexpected = append(rep.Unexpected, Finding{
+				Trial: i, Schedule: s, Violation: errs[i].Error(),
+			})
+		case outcomes[i].EngineErr != nil:
+			rep.Unexpected = append(rep.Unexpected, Finding{
+				Trial: i, Schedule: s, Violation: "engine: " + outcomes[i].EngineErr.Error(),
+			})
+		case outcomes[i].Violation != nil:
+			f := Finding{Trial: i, Schedule: s, Violation: outcomes[i].Violation.Error(), Expected: !s.Adequate}
+			if !cfg.NoShrink {
+				if shrunk, ok := Shrink(s); ok {
+					f.Shrunk = &shrunk
+				}
+			}
+			if f.Expected {
+				rep.Expected = append(rep.Expected, f)
+			} else {
+				rep.Unexpected = append(rep.Unexpected, f)
+			}
+		default:
+			rep.Green++
+		}
+	}
+	return rep, nil
+}
+
+// Describe renders a schedule on one line.
+func (s Schedule) Describe() string {
+	acts := make([]string, len(s.Actions))
+	for i, a := range s.Actions {
+		acts[i] = a.Node + ":" + a.Strategy
+	}
+	adequacy := "inadequate"
+	if s.Adequate {
+		adequacy = "adequate"
+	}
+	return fmt.Sprintf("%s on K%d f=%d (%s) faults=[%s]",
+		s.Protocol, s.N, s.F, adequacy, strings.Join(acts, ","))
+}
+
+// Render formats the report for the CLI and the E18 experiment.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed=%d trials=%d green=%d expected-violations=%d unexpected=%d\n",
+		r.Seed, r.Trials, r.Green, len(r.Expected), len(r.Unexpected))
+	byProto := map[string]int{}
+	for _, f := range r.Expected {
+		byProto[f.Schedule.Protocol]++
+	}
+	if len(byProto) > 0 {
+		protos := make([]string, 0, len(byProto))
+		for p := range byProto {
+			protos = append(protos, p)
+		}
+		sort.Strings(protos)
+		parts := make([]string, len(protos))
+		for i, p := range protos {
+			parts[i] = fmt.Sprintf("%s=%d", p, byProto[p])
+		}
+		fmt.Fprintf(&b, "violations by protocol: %s\n", strings.Join(parts, " "))
+	}
+	for _, f := range r.Expected {
+		fmt.Fprintf(&b, "  [expected] trial %d: %s\n             %s\n", f.Trial, f.Schedule.Describe(), f.Violation)
+		if f.Shrunk != nil {
+			fmt.Fprintf(&b, "             shrunk to %d faulty action(s): %s\n",
+				len(f.Shrunk.Actions), f.Shrunk.Describe())
+		}
+		fmt.Fprintf(&b, "             reproduce: flm chaos -seed %d -trials %d  (trial %d)\n",
+			r.Seed, r.Trials, f.Trial)
+	}
+	for _, f := range r.Unexpected {
+		fmt.Fprintf(&b, "  [UNEXPECTED] trial %d: %s\n               %s\n", f.Trial, f.Schedule.Describe(), f.Violation)
+	}
+	if r.OK() {
+		fmt.Fprintf(&b, "all adequate configurations green; paper's predictions hold\n")
+	} else {
+		fmt.Fprintf(&b, "FAIL: %d unexpected failure(s)\n", len(r.Unexpected))
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pinnedSeed is the seed used by the CI smoke job and E18; the tests
+// below pin its behavior so a panel change that silently flips the
+// adequate/inadequate balance is caught here, not in CI.
+const pinnedSeed = 1
+
+// TestScheduleDeterminism: a schedule is a pure function of
+// (seed, index) — regenerating it must give a deep-equal value.
+func TestScheduleDeterminism(t *testing.T) {
+	for i := 0; i < 128; i++ {
+		a := NewSchedule(pinnedSeed, i)
+		b := NewSchedule(pinnedSeed, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d schedules diverge:\n%+v\n%+v", i, a, b)
+		}
+	}
+	// Different seeds must actually change the stream.
+	diff := 0
+	for i := 0; i < 32; i++ {
+		if !reflect.DeepEqual(NewSchedule(1, i), NewSchedule(2, i)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 generated identical schedules")
+	}
+}
+
+// TestRunSchedulePure: executing the same schedule twice yields the
+// same outcome, byte for byte — the foundation for seed reproduction
+// and for the shrinker's re-execution checks.
+func TestRunSchedulePure(t *testing.T) {
+	for i := 0; i < 48; i++ {
+		s := NewSchedule(pinnedSeed, i)
+		a, b := RunSchedule(s), RunSchedule(s)
+		if errText(a.Violation) != errText(b.Violation) || errText(a.EngineErr) != errText(b.EngineErr) {
+			t.Fatalf("trial %d outcomes diverge: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TestPanelSeed1 pins the acceptance criterion: with the documented
+// seed, every adequate configuration stays green, the inadequate ones
+// produce violations, and each violation shrinks to a schedule that
+// still violates with at most the reported number of faulty actions.
+func TestPanelSeed1(t *testing.T) {
+	rep, err := Run(context.Background(), Config{Seed: pinnedSeed, Trials: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("unexpected failures:\n%s", rep.Render())
+	}
+	if len(rep.Expected) == 0 {
+		t.Fatal("no violations on inadequate configurations; the panel lost its teeth")
+	}
+	for _, f := range rep.Expected {
+		if f.Schedule.Adequate {
+			t.Errorf("trial %d marked expected on an adequate configuration", f.Trial)
+		}
+		if f.Shrunk == nil {
+			t.Errorf("trial %d violation was not shrunk", f.Trial)
+			continue
+		}
+		if len(f.Shrunk.Actions) > len(f.Schedule.Actions) {
+			t.Errorf("trial %d shrink grew: %d > %d actions",
+				f.Trial, len(f.Shrunk.Actions), len(f.Schedule.Actions))
+		}
+		if !violates(*f.Shrunk) {
+			t.Errorf("trial %d shrunk schedule no longer violates: %s",
+				f.Trial, f.Shrunk.Describe())
+		}
+	}
+}
+
+// TestReproduceFromSeed: each finding must be reproducible from
+// nothing but the printed (seed, trial) pair — regenerate the schedule
+// and re-run it.
+func TestReproduceFromSeed(t *testing.T) {
+	rep, err := Run(context.Background(), Config{Seed: pinnedSeed, Trials: 64, NoShrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Expected {
+		s := NewSchedule(rep.Seed, f.Trial)
+		if !reflect.DeepEqual(s, f.Schedule) {
+			t.Fatalf("trial %d: regenerated schedule differs from the finding's", f.Trial)
+		}
+		o := RunSchedule(s)
+		if o.Violation == nil || o.Violation.Error() != f.Violation {
+			t.Errorf("trial %d did not reproduce: want %q, got %+v", f.Trial, f.Violation, o)
+		}
+	}
+}
+
+// TestReportDeterministicAcrossWorkers: the rendered report is
+// identical at any fan-out — schedules derive from (seed, index), never
+// from scheduling order.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		rep, err := Run(context.Background(), Config{
+			Seed: pinnedSeed, Trials: 48, Workers: workers, NoShrink: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Render()
+	}
+	if one, four := render(1), render(4); one != four {
+		t.Fatalf("reports diverge across worker counts:\n--- 1 worker ---\n%s--- 4 workers ---\n%s", one, four)
+	}
+}
+
+// TestShrinkMinimal: the shrinker's fixpoint is 1-minimal — dropping
+// any remaining action, or weakening any remaining strategy, loses the
+// violation.
+func TestShrinkMinimal(t *testing.T) {
+	checked := 0
+	for i := 0; i < 64 && checked < 3; i++ {
+		s := NewSchedule(pinnedSeed, i)
+		if s.Adequate || !violates(s) {
+			continue
+		}
+		shrunk, ok := Shrink(s)
+		if !ok {
+			t.Fatalf("trial %d violates but Shrink disagreed", i)
+		}
+		for j := range shrunk.Actions {
+			cand := shrunk
+			cand.Actions = append(append([]Action(nil), shrunk.Actions[:j]...), shrunk.Actions[j+1:]...)
+			if violates(cand) {
+				t.Errorf("trial %d not 1-minimal: dropping action %d still violates", i, j)
+			}
+			for _, weaker := range weakerThan[shrunk.Actions[j].Strategy] {
+				cand := shrunk
+				cand.Actions = append([]Action(nil), shrunk.Actions...)
+				cand.Actions[j].Strategy = weaker
+				if violates(cand) {
+					t.Errorf("trial %d not 1-minimal: weakening action %d to %s still violates",
+						i, j, weaker)
+				}
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no inadequate violating schedule in the pinned window")
+	}
+}
+
+// TestShrinkRejectsNonViolating: shrinking a green schedule reports
+// ok=false and returns the input unchanged.
+func TestShrinkRejectsNonViolating(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		s := NewSchedule(pinnedSeed, i)
+		if violates(s) {
+			continue
+		}
+		shrunk, ok := Shrink(s)
+		if ok {
+			t.Fatalf("trial %d: Shrink claimed a violation on a green schedule", i)
+		}
+		if !reflect.DeepEqual(shrunk, s) {
+			t.Fatalf("trial %d: Shrink mutated a green schedule", i)
+		}
+		return
+	}
+	t.Skip("no green schedule in the pinned window")
+}
+
+// TestRunValidation: bad configs are rejected up front.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Seed: 1, Trials: 0}); err == nil {
+		t.Fatal("Trials=0 accepted")
+	}
+	if _, err := Run(context.Background(), Config{Seed: 1, Trials: -3}); err == nil {
+		t.Fatal("negative trial count accepted")
+	}
+}
+
+// TestRunCancellation: cancelling the context surfaces the unfinished
+// trials as unexpected findings rather than hanging or dropping them.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, Config{Seed: pinnedSeed, Trials: 16, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("cancelled run reported OK")
+	}
+	found := false
+	for _, f := range rep.Unexpected {
+		if strings.Contains(f.Violation, context.Canceled.Error()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no finding mentions the cancellation: %+v", rep.Unexpected)
+	}
+}

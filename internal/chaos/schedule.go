@@ -1,0 +1,294 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"flm/internal/adversary"
+	"flm/internal/approx"
+	"flm/internal/byzantine"
+	"flm/internal/graph"
+	"flm/internal/sim"
+)
+
+// Action makes one node faulty with one strategy. Round parameterizes
+// crash; Seed parameterizes every randomized strategy (omission subset,
+// noise stream, equivocation faces, replay scripts, clock-liar values).
+type Action struct {
+	Node     string
+	Strategy string
+	Round    int
+	Seed     int64
+}
+
+// Schedule is one fully-determined chaos trial: protocol instance, graph
+// size, fault budget, per-node inputs, and the faulty actions. Running a
+// schedule involves no randomness beyond what the schedule itself
+// encodes, which is what makes seed-reproduction and shrinking sound.
+type Schedule struct {
+	Protocol string
+	N        int  // complete graph K_N
+	F        int  // fault budget the protocol instance is built for
+	Adequate bool // n meets the protocol's resilience threshold
+	Rounds   int  // simulator rounds (sync protocols)
+	Device   string
+	Inputs   []string // canonical inputs in graph.Complete(N).Names() order
+	Actions  []Action
+}
+
+// Outcome is the result of executing one schedule.
+type Outcome struct {
+	Violation error // a broken correctness condition (the interesting case)
+	EngineErr error // the run itself failed (device fault, exec error)
+}
+
+// Strategy names composable on the synchronous protocols.
+var syncStrategies = []string{
+	"silent", "crash", "omit", "noise", "equivocate", "mirror", "replay",
+}
+
+// protocol describes one panel member.
+type protocol struct {
+	name     string
+	sizes    []struct{ n, f int }
+	minN     func(f int) int // resilience threshold: green expected iff n >= minN(f)
+	alphabet []string        // payload/input alphabet for the randomized strategies
+	input    func(rng *rand.Rand) string
+	honest   func(f int, peers []string) sim.Builder
+	rounds   func(f int) int
+	check    func(run *sim.Run, correct []string) error
+}
+
+var panel = []protocol{
+	{
+		name:     "eig",
+		sizes:    []struct{ n, f int }{{3, 1}, {4, 1}, {5, 1}, {6, 2}, {7, 2}},
+		minN:     func(f int) int { return 3*f + 1 },
+		alphabet: []string{"0", "1"},
+		input:    func(rng *rand.Rand) string { return sim.EncodeBool(rng.Intn(2) == 1) },
+		honest:   func(f int, peers []string) sim.Builder { return byzantine.NewEIG(f, peers) },
+		rounds:   byzantine.EIGRounds,
+		check: func(run *sim.Run, correct []string) error {
+			return byzantine.CheckBA(run, correct).Err()
+		},
+	},
+	{
+		name:     "phase-king",
+		sizes:    []struct{ n, f int }{{4, 1}, {5, 1}, {6, 1}},
+		minN:     func(f int) int { return 4*f + 1 },
+		alphabet: []string{"0", "1"},
+		input:    func(rng *rand.Rand) string { return sim.EncodeBool(rng.Intn(2) == 1) },
+		honest:   func(f int, peers []string) sim.Builder { return byzantine.NewPhaseKing(f, peers) },
+		rounds:   byzantine.PhaseKingRounds,
+		check: func(run *sim.Run, correct []string) error {
+			return byzantine.CheckBA(run, correct).Err()
+		},
+	},
+	{
+		name:     "turpin-coan",
+		sizes:    []struct{ n, f int }{{3, 1}, {4, 1}, {5, 1}},
+		minN:     func(f int) int { return 3*f + 1 },
+		alphabet: []string{"red", "green", "blue"},
+		input: func(rng *rand.Rand) string {
+			return []string{"red", "green", "blue"}[rng.Intn(3)]
+		},
+		honest: func(f int, peers []string) sim.Builder { return byzantine.NewTurpinCoan(f, peers) },
+		rounds: byzantine.TurpinCoanRounds,
+		check: func(run *sim.Run, correct []string) error {
+			return byzantine.CheckBA(run, correct).Err()
+		},
+	},
+	{
+		name:  "approx",
+		sizes: []struct{ n, f int }{{3, 1}, {4, 1}, {5, 1}},
+		minN:  func(f int) int { return 3*f + 1 },
+		// Out-of-range reals deliberately included: validity says correct
+		// outputs stay inside the correct input range, so a faulty node
+		// pushing 100 is exactly the attack trimming must absorb.
+		alphabet: []string{
+			sim.EncodeReal(-100), sim.EncodeReal(-1), sim.EncodeReal(0.5),
+			sim.EncodeReal(2), sim.EncodeReal(7), sim.EncodeReal(100),
+		},
+		input: func(rng *rand.Rand) string { return sim.EncodeReal(float64(rng.Intn(5))) },
+		honest: func(f int, peers []string) sim.Builder {
+			return approx.NewDLPSW(f, peers, approxAveragingRounds)
+		},
+		rounds: func(f int) int { return approx.DLPSWRounds(approxAveragingRounds) },
+		check: func(run *sim.Run, correct []string) error {
+			return approx.CheckSimple(run, correct).Err()
+		},
+	},
+}
+
+// approxAveragingRounds is the DLPSW iteration count used by chaos
+// trials: enough that the guaranteed halving makes the output spread
+// strictly smaller than any input spread the generator can produce.
+const approxAveragingRounds = 4
+
+// NewSchedule derives trial i of a chaos run deterministically from the
+// master seed. The derivation depends only on (seed, i) — never on
+// worker count or timing — so a schedule is reproducible from the
+// printed seed alone.
+func NewSchedule(seed int64, i int) Schedule {
+	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixer (0x9E37...15 as int64)
+	rng := rand.New(rand.NewSource(seed ^ (mix * int64(i+1))))
+	// One slot in five is clock synchronization (the timed model); the
+	// rest sweep the synchronous panel.
+	if rng.Intn(5) == 0 {
+		return newClockSchedule(rng)
+	}
+	p := panel[rng.Intn(len(panel))]
+	size := p.sizes[rng.Intn(len(p.sizes))]
+	g := graph.Complete(size.n)
+	names := g.Names()
+
+	s := Schedule{
+		Protocol: p.name,
+		N:        size.n,
+		F:        size.f,
+		Adequate: size.n >= p.minN(size.f),
+		Rounds:   p.rounds(size.f),
+		Inputs:   make([]string, size.n),
+	}
+	for j := range s.Inputs {
+		s.Inputs[j] = p.input(rng)
+	}
+	k := 1 + rng.Intn(size.f) // 1..f faulty nodes: stay inside the budget
+	perm := rng.Perm(size.n)
+	for j := 0; j < k; j++ {
+		s.Actions = append(s.Actions, Action{
+			Node:     names[perm[j]],
+			Strategy: syncStrategies[rng.Intn(len(syncStrategies))],
+			Round:    1 + rng.Intn(3),
+			Seed:     rng.Int63(),
+		})
+	}
+	sortActions(s.Actions)
+	return s
+}
+
+func sortActions(acts []Action) {
+	sort.Slice(acts, func(i, j int) bool { return acts[i].Node < acts[j].Node })
+}
+
+// RunSchedule executes one schedule and checks its protocol's
+// correctness conditions. It is a pure function of the schedule.
+func RunSchedule(s Schedule) Outcome {
+	if s.Protocol == "clocksync" {
+		return runClockSchedule(s)
+	}
+	p, ok := findProtocol(s.Protocol)
+	if !ok {
+		return Outcome{EngineErr: fmt.Errorf("chaos: unknown protocol %q", s.Protocol)}
+	}
+	g := graph.Complete(s.N)
+	names := g.Names()
+	if len(s.Inputs) != len(names) {
+		return Outcome{EngineErr: fmt.Errorf("chaos: %d inputs for %d nodes", len(s.Inputs), len(names))}
+	}
+	honest := p.honest(s.F, names)
+	proto := sim.Protocol{
+		Builders: make(map[string]sim.Builder, len(names)),
+		Inputs:   make(map[string]sim.Input, len(names)),
+	}
+	for j, name := range names {
+		proto.Builders[name] = honest
+		proto.Inputs[name] = sim.Input(s.Inputs[j])
+	}
+	faulty := make(map[string]bool, len(s.Actions))
+	for _, a := range s.Actions {
+		proto.Builders[a.Node] = corrupt(a, p, honest, s.Rounds)
+		faulty[a.Node] = true
+	}
+	sys, err := sim.NewSystem(g, proto)
+	if err != nil {
+		return Outcome{EngineErr: err}
+	}
+	run, err := sim.ExecuteWith(sys, s.Rounds, sim.ExecuteOpts{})
+	if err != nil {
+		return Outcome{EngineErr: err}
+	}
+	var correct []string
+	for _, name := range names {
+		if !faulty[name] {
+			correct = append(correct, name)
+		}
+	}
+	return Outcome{Violation: p.check(run, correct)}
+}
+
+func findProtocol(name string) (protocol, bool) {
+	for _, p := range panel {
+		if p.name == name {
+			return p, true
+		}
+	}
+	return protocol{}, false
+}
+
+// corrupt composes the adversary-package strategies into the builder for
+// one faulty node, fully determined by the action.
+func corrupt(a Action, p protocol, honest sim.Builder, rounds int) sim.Builder {
+	alphabet := p.alphabet
+	switch a.Strategy {
+	case "silent":
+		return adversary.Silent()
+	case "crash":
+		return adversary.Crash(honest, a.Round)
+	case "omit":
+		return func(self string, neighbors []string, input sim.Input) sim.Device {
+			rng := rand.New(rand.NewSource(a.Seed))
+			var drop []string
+			for _, nb := range neighbors { // neighbors arrive sorted
+				if rng.Intn(2) == 0 {
+					drop = append(drop, nb)
+				}
+			}
+			if len(drop) == 0 && len(neighbors) > 0 {
+				drop = append(drop, neighbors[0])
+			}
+			return adversary.Omission(honest, drop...)(self, neighbors, input)
+		}
+	case "noise":
+		payloads := make([]sim.Payload, len(alphabet))
+		for i, v := range alphabet {
+			payloads[i] = sim.Payload(v)
+		}
+		return adversary.Noise(a.Seed, payloads...)
+	case "equivocate":
+		i := int(a.Seed % int64(len(alphabet)))
+		if i < 0 {
+			i += len(alphabet)
+		}
+		j := (i + 1) % len(alphabet)
+		faceB := func(nb string) bool {
+			h := fnv.New64a()
+			h.Write([]byte(nb))
+			return (h.Sum64()^uint64(a.Seed))%2 == 0
+		}
+		return adversary.Equivocate(honest, sim.Input(alphabet[i]), sim.Input(alphabet[j]), faceB)
+	case "mirror":
+		return adversary.Mirror()
+	case "replay":
+		return func(self string, neighbors []string, input sim.Input) sim.Device {
+			rng := rand.New(rand.NewSource(a.Seed))
+			scripts := make(map[string][]sim.Payload, len(neighbors))
+			for _, nb := range neighbors {
+				seq := make([]sim.Payload, rounds)
+				for r := range seq {
+					if rng.Intn(3) > 0 {
+						seq[r] = sim.Payload(alphabet[rng.Intn(len(alphabet))])
+					}
+				}
+				scripts[nb] = seq
+			}
+			return sim.ReplayBuilder(scripts)(self, neighbors, input)
+		}
+	default:
+		// An unknown strategy behaves as the weakest one rather than
+		// failing the trial: shrinking may rewrite strategies.
+		return adversary.Silent()
+	}
+}

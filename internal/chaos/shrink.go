@@ -1,0 +1,73 @@
+package chaos
+
+// Shrinking: a violating schedule found by the randomized generator may
+// carry faulty actions that contribute nothing to the violation (and, at
+// f = 2, more faulty nodes than necessary). Shrink applies greedy
+// delta-debugging over the action list and the strategy lattice until the
+// schedule is 1-minimal: removing any remaining action, or weakening any
+// remaining strategy, loses the violation.
+
+// weakerThan orders strategies by attack power for shrinking purposes:
+// every strategy may be weakened to silence (pure omission), and crash is
+// the halfway point for the wrapping strategies. The shrunk
+// counterexample then uses the least Byzantine behavior that still
+// breaks the condition.
+var weakerThan = map[string][]string{
+	"crash":      {"silent"},
+	"omit":       {"silent"},
+	"noise":      {"silent"},
+	"equivocate": {"crash", "silent"},
+	"mirror":     {"silent"},
+	"replay":     {"silent"},
+}
+
+// violates re-runs a candidate and reports whether it still breaks a
+// correctness condition (engine faults do not count: a shrink step that
+// turns a violation into a crash is rejected).
+func violates(s Schedule) bool {
+	o := RunSchedule(s)
+	return o.Violation != nil && o.EngineErr == nil
+}
+
+// Shrink minimizes a violating schedule. It returns the minimal
+// schedule and true, or the input and false when the schedule does not
+// actually violate (nothing to shrink). The result always still
+// violates, and has at most as many faulty actions as the input —
+// that count is the harness's reported upper bound on the
+// counterexample size.
+func Shrink(s Schedule) (Schedule, bool) {
+	if !violates(s) {
+		return s, false
+	}
+	cur := s
+	for changed := true; changed; {
+		changed = false
+		// Pass 1: drop whole actions (restore the node to honesty).
+		for i := 0; i < len(cur.Actions); i++ {
+			cand := cur
+			cand.Actions = append(append([]Action(nil), cur.Actions[:i]...), cur.Actions[i+1:]...)
+			if violates(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		// Pass 2: weaken strategies in place.
+		for i := 0; i < len(cur.Actions) && !changed; i++ {
+			for _, weaker := range weakerThan[cur.Actions[i].Strategy] {
+				cand := cur
+				cand.Actions = append([]Action(nil), cur.Actions...)
+				cand.Actions[i].Strategy = weaker
+				if violates(cand) {
+					cur = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return cur, true
+}

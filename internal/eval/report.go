@@ -164,6 +164,7 @@ func Registry() []Experiment {
 		{ID: "E15", Name: "Ablation: signatures break the Fault axiom", Paper: "Section 2 remark; [LSP,PSL]", Run: RunE15},
 		{ID: "E16", Name: "Ablation: delay assumptions (footnote 4, Scaling axiom)", Paper: "Section 4 fn.4; Section 7 remark", Run: RunE16},
 		{ID: "E17", Name: "The adequacy frontier across graph families", Paper: "Theorem 1 both bounds + tightness census", Run: RunE17},
+		{ID: "E18", Name: "Chaos adversary panel across the adequacy boundary", Paper: "Fault axiom (Section 2) + Theorems 1,5,8 predictions", Run: RunE18},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		if len(exps[i].ID) != len(exps[j].ID) {

@@ -18,6 +18,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -122,7 +124,11 @@ func NewSystem(g *graph.Graph, p Protocol) (*System, error) {
 			return nil, fmt.Errorf("sim: no input for node %q", name)
 		}
 		sys.Inputs[u] = input
-		sys.Devices[u] = b(name, neighborNames(g, u), input)
+		dev, fault := safeBuild(b, name, neighborNames(g, u), input)
+		if fault != nil {
+			return nil, fault
+		}
+		sys.Devices[u] = dev
 	}
 	return sys, nil
 }
@@ -188,6 +194,23 @@ func Execute(sys *System, rounds int) (*Run, error) {
 // usable. Fast and full runs of the same system are otherwise identical:
 // recording never feeds back into device execution.
 func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
+	return ExecuteCtx(context.Background(), sys, rounds, opts)
+}
+
+// ExecuteCtx is ExecuteWith with a cancellation/deadline path: the
+// context is checked at every round boundary, and a done context stops
+// the execution with a typed *ExecError wrapping ctx.Err() (plus the
+// partial run recorded so far). The round count remains the execution's
+// hard budget; the context bounds wall time across rounds. A device that
+// loops forever *inside a single Step* cannot be interrupted here — Go
+// cannot preempt a goroutine — so wall-clock watchdogs live one layer up,
+// in the sweep engine's Isolated pool.
+//
+// Device panics in any entry point (Step, Snapshot, Output) are caught
+// and returned as a *DeviceFault error attributing the panic to its node,
+// round, and operation; the rest of the failing round still executes (and
+// is recorded in full mode) so the partial run is diagnosable.
+func ExecuteCtx(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 	g := sys.G
 	n := g.N()
 	run := &Run{
@@ -260,6 +283,9 @@ func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 	}
 
 	for r := 0; r < rounds; r++ {
+		if cancelErr := cancelCheck(ctx, r); cancelErr != nil {
+			return run, cancelErr
+		}
 		var roundErr error
 		for u := 0; u < n; u++ {
 			inbox := inboxes[u]
@@ -269,7 +295,10 @@ func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 					inbox[inName[u][s]] = p
 				}
 			}
-			out := sys.Devices[u].Step(r, inbox)
+			out, fault := safeStep(sys.Devices[u], g.Name(u), r, inbox)
+			if fault != nil && roundErr == nil {
+				roundErr = fault
+			}
 			// Validate the whole outbox before delivering anything, so a
 			// bad addressee never leaves a nondeterministically half-
 			// delivered round behind (Outbox iteration order is random).
@@ -281,8 +310,8 @@ func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 			}
 			if bad != "" {
 				if roundErr == nil {
-					roundErr = fmt.Errorf("sim: node %s sent to non-neighbor %q in round %d",
-						g.Name(u), bad, r)
+					roundErr = execRuleError(g.Name(u), r,
+						"sim: node %s sent to non-neighbor %q in round %d", g.Name(u), bad, r)
 				}
 			} else {
 				for to, payload := range out {
@@ -297,12 +326,21 @@ func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 				}
 			}
 			if opts.RecordSnapshots {
-				run.Snapshots[u][r] = sys.Devices[u].Snapshot()
+				snap, snapFault := safeSnapshot(sys.Devices[u], g.Name(u), r)
+				if snapFault != nil && roundErr == nil {
+					roundErr = snapFault
+				}
+				run.Snapshots[u][r] = snap
 			}
-			if d, ok := sys.Devices[u].Output(); ok {
+			d, ok, outFault := safeOutput(sys.Devices[u], g.Name(u), r)
+			if outFault != nil && roundErr == nil {
+				roundErr = outFault
+			}
+			if ok {
 				if run.Decisions[u].Value != "" && run.Decisions[u].Value != d.Value {
 					if roundErr == nil {
-						roundErr = fmt.Errorf("sim: node %s changed its decision from %q to %q",
+						roundErr = execRuleError(g.Name(u), r,
+							"sim: node %s changed its decision from %q to %q",
 							g.Name(u), run.Decisions[u].Value, d.Value)
 					}
 				} else if run.Decisions[u].Value == "" {
@@ -324,11 +362,23 @@ func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 	return run, nil
 }
 
-// MustExecute is Execute for known-good systems; it panics on error.
+// MustExecute is Execute for known-good systems; it panics on error. The
+// panic value is always a *ExecError carrying node/round context, so a
+// recovery layer (e.g. the sweep engine's Isolated pool) can tell an
+// engine-reported failure apart from an arbitrary device panic: device
+// faults remain reachable through errors.As as a *DeviceFault cause.
 func MustExecute(sys *System, rounds int) *Run {
 	run, err := Execute(sys, rounds)
 	if err != nil {
-		panic(err)
+		var ee *ExecError
+		if errors.As(err, &ee) {
+			panic(ee)
+		}
+		var df *DeviceFault
+		if errors.As(err, &df) {
+			panic(&ExecError{Node: df.Node, Round: df.Round, Err: df})
+		}
+		panic(&ExecError{Round: -1, Err: err})
 	}
 	return run
 }

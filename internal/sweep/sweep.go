@@ -18,6 +18,8 @@
 package sweep
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -44,16 +46,32 @@ func SetWorkers(n int) int {
 	return int(overrideWorkers.Swap(int64(n)))
 }
 
+// warnOnce gates the one-time malformed-FLM_WORKERS warning; warnf is a
+// test seam (defaults to stderr).
+var (
+	warnOnce sync.Once
+	warnf    = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+)
+
 // Workers reports the number of workers a sweep will use: the SetWorkers
 // override if set, else FLM_WORKERS if set to a positive integer, else
-// GOMAXPROCS.
+// GOMAXPROCS. A malformed or negative FLM_WORKERS value falls back to
+// GOMAXPROCS with a one-time warning ("0" and "" are valid spellings of
+// the default and warn nothing).
 func Workers() int {
 	if n := int(overrideWorkers.Load()); n > 0 {
 		return n
 	}
 	if s := os.Getenv(WorkersEnv); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+		n, err := strconv.Atoi(s)
+		switch {
+		case err == nil && n > 0:
 			return n
+		case err != nil || n < 0:
+			warnOnce.Do(func() {
+				warnf("sweep: ignoring invalid %s=%q (want a non-negative integer); using GOMAXPROCS=%d\n",
+					WorkersEnv, s, runtime.GOMAXPROCS(0))
+			})
 		}
 	}
 	return runtime.GOMAXPROCS(0)
@@ -69,6 +87,14 @@ func Workers() int {
 // not share mutable state; everything a trial touches should be built
 // inside fn or be read-only (graphs, builders, parameter structs).
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with a cancellation path: when ctx is done, workers stop
+// claiming new trials (already-running trials complete) and the sweep
+// returns ctx.Err() unless a lower-indexed trial already failed with its
+// own error.
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, nil
@@ -80,6 +106,9 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers <= 1 {
 		// Sequential fast path: no goroutines, identical semantics.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, fmt.Errorf("sweep: cancelled before trial %d: %w", i, err)
+			}
 			v, err := fn(i)
 			if err != nil {
 				return results, err
@@ -103,7 +132,7 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				v, err := fn(i)
@@ -121,6 +150,11 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			return results, fmt.Errorf("sweep: cancelled: %w", err)
+		}
+	}
 	return results, firstErr
 }
 
