@@ -5,14 +5,17 @@
 #              parallel sweep path so the race detector sees real
 #              concurrency even on single-core runners
 # bench        refresh the BENCH_<date>.json perf snapshot
+# bench-smoke  quick bench (1 run/entry) diffed against the committed
+#              baseline, report-only — the CI perf canary
 # chaos        the CI smoke run: randomized adversaries, pinned seed
 
 GO ?= go
 RACE_WORKERS ?= 4
 CHAOS_SEED ?= 1
 CHAOS_TRIALS ?= 64
+BENCH_BASELINE ?= BENCH_2026-08-06-runcache.json
 
-.PHONY: verify verify-race bench chaos
+.PHONY: verify verify-race bench bench-smoke chaos
 
 verify:
 	$(GO) build ./...
@@ -24,6 +27,9 @@ verify-race: verify
 
 bench:
 	$(GO) run ./cmd/flm bench
+
+bench-smoke:
+	$(GO) run ./cmd/flm bench -runs 1 -o /tmp/flm-bench-smoke.json -compare $(BENCH_BASELINE)
 
 chaos:
 	$(GO) run ./cmd/flm chaos -seed $(CHAOS_SEED) -trials $(CHAOS_TRIALS)

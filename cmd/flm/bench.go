@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"time"
 
 	"flm"
@@ -46,6 +48,13 @@ type BenchReport struct {
 // of the numbers; background allocation noise is small compared to the
 // millions of allocations per experiment.
 func measure(id, name string, runs int, fn func() error) (BenchEntry, error) {
+	// Each entry measures from a cold run cache: earlier entries must not
+	// donate cache hits, and — just as important on a suite this long —
+	// their retained runs must not sit in the live heap inflating every
+	// GC mark phase of the allocation-heavy entries that follow. Within
+	// the entry the cache warms normally across iterations, which is the
+	// workload a long-lived analysis process actually sees.
+	flm.ResetRunCaches()
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -72,6 +81,10 @@ func cmdBench(args []string, out io.Writer) int {
 	outPath := fs.String("o", "", "output JSON path (default BENCH_<date>.json)")
 	runs := fs.Int("runs", 3, "iterations per workload")
 	workers := fs.Int("workers", 0, "sweep worker count (0 = FLM_WORKERS env or GOMAXPROCS)")
+	compare := fs.String("compare", "", "baseline BENCH json to diff the fresh numbers against")
+	threshold := fs.Float64("threshold", 0, "regression gate: exit nonzero if any shared entry worsens by more than this percent (0 = report-only)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (post-suite, after GC) to this file")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +95,30 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 	prev := sweep.SetWorkers(*workers)
 	defer sweep.SetWorkers(prev)
+
+	var baseline *BenchReport
+	if *compare != "" {
+		b, err := loadBenchReport(*compare)
+		if err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+		baseline = b
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	date := time.Now().Format("2006-01-02")
 	path := *outPath
@@ -143,7 +180,99 @@ func cmdBench(args []string, out io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(out, "wrote %s (%d entries)\n", path, len(report.Entries))
+
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+		defer mf.Close()
+		runtime.GC() // profile the retained heap, not the final round's garbage
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+	}
+
+	if baseline != nil {
+		if regressed := compareReports(out, &report, baseline, *compare, *threshold); regressed {
+			return 3
+		}
+	}
 	return 0
+}
+
+// loadBenchReport reads a committed BENCH_<date>.json baseline.
+func loadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// pctDelta is the percent change from old to new; a zero baseline with a
+// nonzero current reads as +100% so it can still trip the gate.
+func pctDelta(cur, old float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (cur - old) / old
+}
+
+// compareReports prints per-entry ns/op, allocs/op and B/op deltas of cur
+// against base, matching entries by ID. Entries present on only one side
+// are reported but never gate. With threshold > 0, any shared entry
+// whose ns/op, allocs/op or B/op worsened by more than threshold percent
+// marks the comparison regressed (the returned bool).
+func compareReports(out io.Writer, cur, base *BenchReport, baseName string, threshold float64) bool {
+	baseByID := make(map[string]BenchEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseByID[e.ID] = e
+	}
+	fmt.Fprintf(out, "\ncomparison vs %s (positive = worse):\n", baseName)
+	regressed := false
+	seen := make(map[string]bool, len(cur.Entries))
+	for _, e := range cur.Entries {
+		seen[e.ID] = true
+		b, ok := baseByID[e.ID]
+		if !ok {
+			fmt.Fprintf(out, "%-28s new entry, no baseline\n", e.ID)
+			continue
+		}
+		dns := pctDelta(float64(e.NsPerOp), float64(b.NsPerOp))
+		dal := pctDelta(float64(e.AllocsPerOp), float64(b.AllocsPerOp))
+		dby := pctDelta(float64(e.BytesPerOp), float64(b.BytesPerOp))
+		flag := ""
+		if threshold > 0 && (dns > threshold || dal > threshold || dby > threshold) {
+			regressed = true
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(out, "%-28s ns/op %+7.1f%%   allocs/op %+7.1f%%   B/op %+7.1f%%%s\n",
+			e.ID, dns, dal, dby, flag)
+	}
+	removed := make([]string, 0)
+	for id := range baseByID {
+		if !seen[id] {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(removed)
+	for _, id := range removed {
+		fmt.Fprintf(out, "%-28s present in baseline only\n", id)
+	}
+	if regressed {
+		fmt.Fprintf(out, "bench: regression above %.1f%% threshold\n", threshold)
+	}
+	return regressed
 }
 
 type microBench struct {

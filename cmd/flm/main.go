@@ -68,8 +68,12 @@ commands:
   prove <device>       defeat a device with the hexagon argument
   dot <cover> [m]      Graphviz DOT of a covering (hex|diamond|ring)
   trace <device>       round-by-round traffic of the hexagon covering run
-  bench [-o file] [-runs n] [-workers n]
-                       benchmark the experiments and write BENCH_<date>.json
+  bench [-o file] [-runs n] [-workers n] [-compare baseline.json]
+        [-threshold pct] [-cpuprofile f] [-memprofile f]
+                       benchmark the experiments and write BENCH_<date>.json;
+                       -compare diffs against a committed baseline (exit 3
+                       on regression when -threshold > 0), -cpuprofile and
+                       -memprofile write runtime/pprof profiles
   chaos [-seed n] [-trials n] [-timeout d] [-workers n] [-noshrink]
                        fire seeded randomized adversaries at the protocol
                        panel; violations on inadequate graphs are expected

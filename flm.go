@@ -40,6 +40,7 @@ import (
 	"flm/internal/core"
 	"flm/internal/dolev"
 	"flm/internal/eval"
+	"flm/internal/runcache"
 	"flm/internal/firingsquad"
 	"flm/internal/graph"
 	"flm/internal/signed"
@@ -174,6 +175,30 @@ var (
 	// FirstSweepError recovers the lowest-failing-index error of a sweep.
 	FirstSweepError = sweep.FirstError
 )
+
+// RunCacheStatsReport is the hit/miss/entry counters of one memoization
+// cache (the execution cache or the splice cache).
+type RunCacheStatsReport = runcache.Stats
+
+var (
+	// RunCacheStats reports the execution cache's counters: repeated
+	// identical (graph, devices, inputs, rounds, opts) executions are
+	// served from cache when every device is fingerprintable.
+	RunCacheStats = sim.RunCacheStats
+	// SpliceCacheStats reports the splice cache's counters: repeated
+	// scenario splices of the same covering run are served from cache.
+	SpliceCacheStats = core.SpliceCacheStats
+	// SetRunCacheEnabled overrides the FLM_RUNCACHE default (caches on
+	// unless FLM_RUNCACHE=off/0/false/no) and returns a restore func.
+	SetRunCacheEnabled = runcache.SetEnabled
+)
+
+// ResetRunCaches drops every memoized execution and splice, for tests
+// and for relieving memory pressure in very long sweeps.
+func ResetRunCaches() {
+	sim.ResetRunCache()
+	core.ResetSpliceCache()
+}
 
 // IsolatedSweep runs n independent trials with full fault isolation: a
 // panicking or hanging trial is converted into a *TrialFault for its

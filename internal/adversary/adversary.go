@@ -36,6 +36,17 @@ type crashDevice struct {
 }
 
 var _ sim.Device = (*crashDevice)(nil)
+var _ sim.Fingerprinter = (*crashDevice)(nil)
+
+// DeviceFingerprint is the crash round plus the inner device's identity
+// ("" when the inner device is not fingerprintable).
+func (d *crashDevice) DeviceFingerprint() string {
+	inner := sim.FingerprintOf(d.inner)
+	if inner == "" {
+		return ""
+	}
+	return fmt.Sprintf("adv/crash@%d|%s", d.crashRound, inner)
+}
 
 // Crash wraps a builder so the resulting device fail-stops at the given
 // round (messages from that round on are suppressed).
@@ -70,6 +81,22 @@ type omissionDevice struct {
 }
 
 var _ sim.Device = (*omissionDevice)(nil)
+var _ sim.Fingerprinter = (*omissionDevice)(nil)
+
+// DeviceFingerprint is the sorted drop set plus the inner device's
+// identity ("" when the inner device is not fingerprintable).
+func (d *omissionDevice) DeviceFingerprint() string {
+	inner := sim.FingerprintOf(d.inner)
+	if inner == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(d.drop))
+	for k := range d.drop {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("adv/omit[%s]|%s", strings.Join(keys, ","), inner)
+}
 
 // Omission wraps a builder so messages to the listed neighbors are
 // silently dropped.
@@ -115,10 +142,32 @@ func (d *omissionDevice) Output() (sim.Decision, bool) { return sim.Decision{}, 
 // participant.
 type equivocator struct {
 	brainA, brainB sim.Device
+	aIn, bIn       sim.Input
 	useB           map[string]bool
 }
 
 var _ sim.Device = (*equivocator)(nil)
+var _ sim.Fingerprinter = (*equivocator)(nil)
+
+// DeviceFingerprint captures both brains' identities, the inputs they
+// were built with (which differ from the node's system-level input the
+// execution cache keys on), and the realized audience split — the faceB
+// predicate's only observable effect.
+func (d *equivocator) DeviceFingerprint() string {
+	fpA, fpB := sim.FingerprintOf(d.brainA), sim.FingerprintOf(d.brainB)
+	if fpA == "" || fpB == "" {
+		return ""
+	}
+	split := make([]string, 0, len(d.useB))
+	for nb, b := range d.useB {
+		if b {
+			split = append(split, nb)
+		}
+	}
+	sort.Strings(split)
+	return fmt.Sprintf("adv/equiv[%s]a=%q:%s|b=%q:%s",
+		strings.Join(split, ","), string(d.aIn), fpA, string(d.bIn), fpB)
+}
 
 // Equivocate builds a two-faced device: neighbors for which faceB returns
 // true see an honest device with input b; all others see an honest device
@@ -128,6 +177,8 @@ func Equivocate(inner sim.Builder, a, b sim.Input, faceB func(neighbor string) b
 		d := &equivocator{
 			brainA: inner(self, neighbors, a),
 			brainB: inner(self, neighbors, b),
+			aIn:    a,
+			bIn:    b,
 			useB:   make(map[string]bool, len(neighbors)),
 		}
 		for _, nb := range neighbors {
@@ -171,11 +222,26 @@ func (d *equivocator) Output() (sim.Decision, bool) { return sim.Decision{}, fal
 type noiseDevice struct {
 	neighbors []string
 	rng       *rand.Rand
+	seed      int64 // builder seed, pre node-name mixing (fingerprint identity)
 	round     int
 	alphabet  []sim.Payload
 }
 
 var _ sim.Device = (*noiseDevice)(nil)
+var _ sim.Fingerprinter = (*noiseDevice)(nil)
+
+// DeviceFingerprint is the builder seed and alphabet; the per-node rng
+// stream is a deterministic function of these plus the node name, which
+// the execution cache keys separately. Valid only pre-execution — the
+// cache computes keys before round 0, so the advancing rng state never
+// leaks into an identity.
+func (d *noiseDevice) DeviceFingerprint() string {
+	parts := make([]string, len(d.alphabet))
+	for i, p := range d.alphabet {
+		parts[i] = fmt.Sprintf("%d:%s", len(p), p)
+	}
+	return fmt.Sprintf("adv/noise:seed=%d,alpha=%s", d.seed, strings.Join(parts, ","))
+}
 
 // Noise returns a builder for a device babbling pseudo-random payloads
 // drawn from the alphabet (default {"0","1"} if none given).
@@ -189,6 +255,7 @@ func Noise(seed int64, alphabet ...sim.Payload) sim.Builder {
 		d := &noiseDevice{
 			neighbors: append([]string(nil), neighbors...),
 			rng:       rand.New(rand.NewSource(seed ^ int64(h.Sum64()))),
+			seed:      seed,
 			alphabet:  alphabet,
 		}
 		sort.Strings(d.neighbors)
@@ -221,6 +288,10 @@ type mirrorDevice struct {
 }
 
 var _ sim.Device = (*mirrorDevice)(nil)
+var _ sim.Fingerprinter = (*mirrorDevice)(nil)
+
+// DeviceFingerprint is constant: a mirror has no parameters.
+func (d *mirrorDevice) DeviceFingerprint() string { return "adv/mirror" }
 
 // Mirror returns a builder for reflection attackers.
 func Mirror() sim.Builder {

@@ -41,6 +41,12 @@ type medianDevice struct {
 }
 
 var _ sim.Device = (*medianDevice)(nil)
+var _ sim.Fingerprinter = (*medianDevice)(nil)
+
+// DeviceFingerprint is the constructor identity (the decide round).
+func (d *medianDevice) DeviceFingerprint() string {
+	return fmt.Sprintf("approx/median@%d", d.decideRound)
+}
 
 // NewMedian returns a builder for median devices deciding at the given
 // round.
@@ -160,6 +166,13 @@ type dlpswDevice struct {
 }
 
 var _ sim.Device = (*dlpswDevice)(nil)
+var _ sim.Fingerprinter = (*dlpswDevice)(nil)
+
+// DeviceFingerprint is the constructor identity: fault bound, peer set,
+// and iteration count.
+func (d *dlpswDevice) DeviceFingerprint() string {
+	return fmt.Sprintf("approx/dlpsw:f=%d,rounds=%d,peers=%s", d.f, d.rounds, strings.Join(d.peers, ","))
+}
 
 // NewDLPSW returns a builder for DLPSW devices tolerating f faults among
 // the given peers, iterating for the given number of averaging rounds

@@ -36,6 +36,14 @@ type eigDevice struct {
 }
 
 var _ sim.Device = (*eigDevice)(nil)
+var _ sim.Fingerprinter = (*eigDevice)(nil)
+
+// DeviceFingerprint is the constructor identity: fault bound and peer
+// set. Everything else the device does is determined by these plus the
+// (self, neighbors, input) triple the execution cache keys separately.
+func (d *eigDevice) DeviceFingerprint() string {
+	return fmt.Sprintf("byz/eig:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+}
 
 // NewEIG returns a builder for EIG devices tolerating f faults among the
 // given peer set (which must include every node of the complete

@@ -170,6 +170,15 @@ type simpleDevice struct {
 }
 
 var _ sim.Device = (*simpleDevice)(nil)
+var _ sim.Fingerprinter = (*simpleDevice)(nil)
+
+// DeviceFingerprint identifies the chassis by its kind string — which
+// already encodes the variant and every constructor parameter, including
+// seeds — plus the decide round. The decide closure is determined by the
+// kind, so this is the full constructor identity.
+func (d *simpleDevice) DeviceFingerprint() string {
+	return fmt.Sprintf("byz/simple:%s@%d", d.kind, d.decideRound)
+}
 
 func (d *simpleDevice) Init(self string, neighbors []string, input sim.Input) {
 	d.self = self

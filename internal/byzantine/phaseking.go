@@ -3,6 +3,7 @@ package byzantine
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"flm/internal/sim"
 )
@@ -24,6 +25,13 @@ type phaseKingDevice struct {
 }
 
 var _ sim.Device = (*phaseKingDevice)(nil)
+var _ sim.Fingerprinter = (*phaseKingDevice)(nil)
+
+// DeviceFingerprint is the constructor identity: fault bound and peer
+// set (see eigDevice.DeviceFingerprint).
+func (d *phaseKingDevice) DeviceFingerprint() string {
+	return fmt.Sprintf("byz/phaseking:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+}
 
 // NewPhaseKing returns a builder for phase-king devices tolerating f
 // faults among the given peers (n >= 4f+1 required for correctness).

@@ -40,6 +40,13 @@ type turpinCoan struct {
 }
 
 var _ sim.Device = (*turpinCoan)(nil)
+var _ sim.Fingerprinter = (*turpinCoan)(nil)
+
+// DeviceFingerprint is the constructor identity: fault bound and peer
+// set (see eigDevice.DeviceFingerprint).
+func (d *turpinCoan) DeviceFingerprint() string {
+	return fmt.Sprintf("byz/turpincoan:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+}
 
 // tcBot is the on-wire encoding of ⊥.
 const tcBot = "-"

@@ -16,7 +16,9 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
+	"strings"
 
 	"flm/internal/graph"
 	"flm/internal/sim"
@@ -28,27 +30,43 @@ import (
 // neighborhoods, so the translation is a bijection on the node's edges.
 type renamedDevice struct {
 	inner sim.Device
+	gName string            // the inner device's G-identity
 	toG   map[string]string // S-neighbor name -> G-neighbor name
 	toS   map[string]string // G-neighbor name -> S-neighbor name
+
+	// Translation buffers reused across Steps (the executor owns the
+	// S-inbox and we own the returned S-outbox per the Device contract,
+	// so neither is retained by anyone between rounds).
+	gInbox sim.Inbox
+	out    sim.Outbox
 }
 
 var _ sim.Device = (*renamedDevice)(nil)
+var _ sim.Fingerprinter = (*renamedDevice)(nil)
 
 func (d *renamedDevice) Init(self string, neighbors []string, input sim.Input) {
 	// The inner device was initialized with its G-identity at build time.
 }
 
 func (d *renamedDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
-	gInbox := make(sim.Inbox, len(inbox))
+	if d.gInbox == nil {
+		d.gInbox = make(sim.Inbox, len(d.toG))
+	} else {
+		clear(d.gInbox)
+	}
 	for from, p := range inbox {
 		gFrom, ok := d.toG[from]
 		if !ok {
 			continue // cannot happen on a verified cover
 		}
-		gInbox[gFrom] = p
+		d.gInbox[gFrom] = p
 	}
-	gOut := d.inner.Step(round, gInbox)
-	out := make(sim.Outbox, len(gOut))
+	gOut := d.inner.Step(round, d.gInbox)
+	if d.out == nil {
+		d.out = make(sim.Outbox, len(gOut))
+	} else {
+		clear(d.out)
+	}
 	for gTo, p := range gOut {
 		sTo, ok := d.toS[gTo]
 		if !ok {
@@ -57,9 +75,27 @@ func (d *renamedDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
 			// correct cover gives every G-neighbor an image.
 			continue
 		}
-		out[sTo] = p
+		d.out[sTo] = p
 	}
-	return out
+	return d.out
+}
+
+// DeviceFingerprint is the inner device's fingerprint qualified by the
+// G-identity and the neighbor renaming. The inner fingerprint covers
+// type and constructor parameters; gName and the toG map pin down the
+// (self, neighbors) the inner device was actually built with, which for
+// an installed device differ from the S-node the executor keys on.
+func (d *renamedDevice) DeviceFingerprint() string {
+	inner := sim.FingerprintOf(d.inner)
+	if inner == "" {
+		return ""
+	}
+	pairs := make([]string, 0, len(d.toG))
+	for sNb, gNb := range d.toG {
+		pairs = append(pairs, sNb+">"+gNb)
+	}
+	sort.Strings(pairs)
+	return "renamed:" + d.gName + "[" + strings.Join(pairs, ",") + "]|" + inner
 }
 
 // Snapshot is the inner device's snapshot: the installed node is
@@ -76,6 +112,13 @@ type Installation struct {
 	Cover    *graph.Cover
 	Protocol sim.Protocol
 	Inputs   map[string]sim.Input // by S-node name
+
+	// buildersID is the identity of the G-builders map InstallCover
+	// received. Builder funcs are not comparable, so the splice cache
+	// uses this pointer identity to verify that a SpliceScenario call
+	// passes the same builders the installation was made from before it
+	// trusts the covering run's fingerprint as the cache key.
+	buildersID uintptr
 }
 
 // InstallCover assigns to every S-node the device of its G-image (built
@@ -118,16 +161,21 @@ func InstallCover(cover *graph.Cover, builders map[string]sim.Builder, inputs ma
 		}
 		sort.Strings(gNeighbors)
 		// Capture loop variables for the closure.
-		b, in := builder, input
+		b, in, gn := builder, input, gName
 		p.Builders[sName] = func(self string, neighbors []string, _ sim.Input) sim.Device {
-			return &renamedDevice{inner: b(gName, gNeighbors, in), toG: toG, toS: toS}
+			return &renamedDevice{inner: b(gn, gNeighbors, in), gName: gn, toG: toG, toS: toS}
 		}
 	}
 	inputsCopy := make(map[string]sim.Input, len(p.Inputs))
 	for k, v := range p.Inputs {
 		inputsCopy[k] = v
 	}
-	return &Installation{Cover: cover, Protocol: p, Inputs: inputsCopy}, nil
+	return &Installation{
+		Cover:      cover,
+		Protocol:   p,
+		Inputs:     inputsCopy,
+		buildersID: reflect.ValueOf(builders).Pointer(),
+	}, nil
 }
 
 // Execute instantiates the installed devices and runs the covering system

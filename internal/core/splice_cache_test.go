@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"flm/internal/byzantine"
+	"flm/internal/graph"
+	"flm/internal/runcache"
+	"flm/internal/sim"
+)
+
+// TestSpliceCacheEquivalence runs the same contradiction chain with the
+// caches enabled and disabled and demands identical reported chains —
+// the cache must be semantically invisible — while confirming that the
+// cached pass actually hit the splice cache.
+func TestSpliceCacheEquivalence(t *testing.T) {
+	g := graph.MustNew("a", "b", "c")
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain := func() string {
+		cr, err := ByzantineTriangle(uniformBuilders(g, byzantine.NewMajority(2)), "majority", 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr.String()
+	}
+
+	off := runcache.SetEnabled(false)
+	want := chain()
+	off()
+
+	on := runcache.SetEnabled(true)
+	defer on()
+	ResetSpliceCache()
+	sim.ResetRunCache()
+	first := chain()
+	st0 := SpliceCacheStats()
+	if st0.Misses == 0 || st0.Entries == 0 {
+		t.Fatalf("cached pass never consulted the splice cache: %+v", st0)
+	}
+	second := chain()
+	st1 := SpliceCacheStats()
+	if st1.Hits <= st0.Hits {
+		t.Fatalf("repeat chain did not hit the splice cache: %+v -> %+v", st0, st1)
+	}
+	if st1.Misses != st0.Misses {
+		t.Fatalf("repeat chain re-executed splices: %+v -> %+v", st0, st1)
+	}
+
+	if first != want || second != want {
+		t.Fatalf("cached chain diverged from uncached chain:\nuncached:\n%s\ncached #1:\n%s\ncached #2:\n%s",
+			want, first, second)
+	}
+}
+
+// TestSpliceCacheRequiresMatchingBuilders pins the safety guard: a
+// builders map other than the one the installation was made from must
+// bypass the cache (builder funcs are not hashable, so pointer identity
+// is the only sound link between key and behavior).
+func TestSpliceCacheRequiresMatchingBuilders(t *testing.T) {
+	on := runcache.SetEnabled(true)
+	defer on()
+	ResetSpliceCache()
+
+	cover := graph.HexCover()
+	builders := uniformBuilders(cover.G, byzantine.NewMajority(2))
+	inputs := make(map[string]sim.Input, cover.S.N())
+	for _, name := range cover.S.Names() {
+		inputs[name] = sim.Input("1")
+	}
+	inst, err := InstallCover(cover, builders, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runS, err := inst.Execute(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []int{0, 1}
+
+	if _, ok := spliceKey(inst, runS, u, builders); !ok {
+		t.Fatal("matching builders map did not qualify for the cache")
+	}
+	other := uniformBuilders(cover.G, byzantine.NewMajority(2))
+	if _, ok := spliceKey(inst, runS, u, other); ok {
+		t.Fatal("foreign builders map qualified for the cache")
+	}
+	off := runcache.SetEnabled(false)
+	if _, ok := spliceKey(inst, runS, u, builders); ok {
+		t.Fatal("disabled cache still produced a splice key")
+	}
+	off()
+}

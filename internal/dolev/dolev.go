@@ -12,6 +12,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"flm/internal/graph"
@@ -96,35 +97,83 @@ type piece struct {
 }
 
 func (p piece) encode(r *Router) string {
-	return fmt.Sprintf("%s>%s>%d,%d,%d,%s",
-		r.g.Name(p.origin), r.g.Name(p.dest), p.pathIdx, p.hop, p.innerRound, p.payload)
+	return string(p.appendEncode(nil, r))
+}
+
+// appendEncode is the allocation-free form of encode: it appends the wire
+// representation ("origin>dest>pathIdx,hop,innerRound,payload") to b. The
+// overlay encodes every piece every hop, so this path must not go through
+// fmt.
+func (p piece) appendEncode(b []byte, r *Router) []byte {
+	b = append(b, r.g.Name(p.origin)...)
+	b = append(b, '>')
+	b = append(b, r.g.Name(p.dest)...)
+	b = append(b, '>')
+	b = strconv.AppendInt(b, int64(p.pathIdx), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.hop), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.innerRound), 10)
+	b = append(b, ',')
+	b = append(b, p.payload...)
+	return b
+}
+
+// isHex reports whether s is a valid hex string by hex.DecodeString's
+// rules, without allocating the decoded bytes just to throw them away.
+func isHex(s string) bool {
+	if len(s)%2 != 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
 }
 
 func decodePiece(r *Router, s string) (piece, bool) {
 	var p piece
-	parts := strings.SplitN(s, ",", 4)
-	if len(parts) != 4 {
+	// Wire layout: origin>dest>pathIdx,hop,innerRound,payload. Cut walks
+	// the fields without allocating the intermediate slices that
+	// strings.Split would.
+	head, rest, ok := strings.Cut(s, ",")
+	if !ok {
 		return p, false
 	}
-	route := strings.Split(parts[0], ">")
-	if len(route) != 3 {
+	originName, route, ok := strings.Cut(head, ">")
+	if !ok {
 		return p, false
 	}
-	origin, ok1 := r.g.Index(route[0])
-	dest, ok2 := r.g.Index(route[1])
+	destName, pathIdxS, ok := strings.Cut(route, ">")
+	if !ok || strings.IndexByte(pathIdxS, '>') >= 0 {
+		return p, false
+	}
+	hopS, rest2, ok := strings.Cut(rest, ",")
+	if !ok {
+		return p, false
+	}
+	innerRoundS, payload, ok := strings.Cut(rest2, ",")
+	if !ok {
+		return p, false
+	}
+	origin, ok1 := r.g.Index(originName)
+	dest, ok2 := r.g.Index(destName)
 	if !ok1 || !ok2 {
 		return p, false
 	}
-	pathIdx, err1 := sim.DecodeInt(route[2])
-	hop, err2 := sim.DecodeInt(parts[1])
-	innerRound, err3 := sim.DecodeInt(parts[2])
+	pathIdx, err1 := sim.DecodeInt(pathIdxS)
+	hop, err2 := sim.DecodeInt(hopS)
+	innerRound, err3 := sim.DecodeInt(innerRoundS)
 	if err1 != nil || err2 != nil || err3 != nil {
 		return p, false
 	}
-	if _, err := hex.DecodeString(parts[3]); err != nil {
+	if !isHex(payload) {
 		return p, false
 	}
-	p = piece{origin: origin, dest: dest, pathIdx: pathIdx, hop: hop, innerRound: innerRound, payload: parts[3]}
+	p = piece{origin: origin, dest: dest, pathIdx: pathIdx, hop: hop, innerRound: innerRound, payload: payload}
 	return p, true
 }
 
@@ -136,6 +185,16 @@ type overlayDevice struct {
 	nbs     map[string]bool
 	outbox  []piece               // pieces to transmit next round
 	arrived map[arrivalKey]string // (origin, innerRound, pathIdx) -> payload (first copy wins)
+
+	// Reusable per-step scratch. The overlay steps every simulator round
+	// for every node, so transient maps and slices here would otherwise
+	// dominate the sweep allocator profile.
+	senders    []string            // sorted inbox senders (ingest)
+	innerInbox sim.Inbox           // decoded majority inbox (stepInner)
+	tallyVals  []string            // distinct copies seen on the paths (stepInner)
+	tallyCnts  []int               // matching counts (stepInner)
+	byNeighbor map[string][]string // encoded fragments per next hop (flush)
+	encBuf     []byte              // piece wire-encoding buffer (flush)
 }
 
 type arrivalKey struct {
@@ -188,17 +247,21 @@ func (d *overlayDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
 // ingest validates and routes incoming pieces: recording copies addressed
 // to us, forwarding the rest one hop.
 func (d *overlayDevice) ingest(inbox sim.Inbox) {
-	senders := make([]string, 0, len(inbox))
+	senders := d.senders[:0]
 	for s := range inbox {
 		senders = append(senders, s)
 	}
 	sort.Strings(senders)
+	d.senders = senders
 	for _, from := range senders {
 		fromIdx, ok := d.router.g.Index(from)
 		if !ok {
 			continue
 		}
-		for _, frag := range strings.Split(string(inbox[from]), "&") {
+		rest := string(inbox[from])
+		for more := true; more; {
+			var frag string
+			frag, rest, more = strings.Cut(rest, "&")
 			pc, ok := decodePiece(d.router, frag)
 			if !ok {
 				continue
@@ -229,29 +292,44 @@ func (d *overlayDevice) ingest(inbox sim.Inbox) {
 // stepInner decodes the majority inbox for the inner round and launches
 // the inner device's new messages along all disjoint paths.
 func (d *overlayDevice) stepInner(innerRound int) {
-	innerInbox := sim.Inbox{}
+	if d.innerInbox == nil {
+		d.innerInbox = sim.Inbox{}
+	}
+	clear(d.innerInbox)
+	innerInbox := d.innerInbox
 	if innerRound > 0 {
 		for origin := 0; origin < d.router.g.N(); origin++ {
 			if origin == d.self {
 				continue
 			}
-			counts := map[string]int{}
+			// Tally the ≤ 2f+1 path copies in small parallel slices; a map
+			// plus a sorted key slice per origin per round is allocator
+			// noise for a population this size. Ties break toward the
+			// lexicographically smallest copy, as the sorted-keys scan did.
+			vals, cnts := d.tallyVals[:0], d.tallyCnts[:0]
 			for idx := 0; idx < d.router.NumPaths(); idx++ {
 				key := arrivalKey{origin: origin, innerRound: innerRound - 1, pathIdx: idx}
 				if copyVal, ok := d.arrived[key]; ok {
-					counts[copyVal]++
+					seen := false
+					for i, v := range vals {
+						if v == copyVal {
+							cnts[i]++
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						vals = append(vals, copyVal)
+						cnts = append(cnts, 1)
+					}
 				}
 				delete(d.arrived, key)
 			}
+			d.tallyVals, d.tallyCnts = vals, cnts
 			best, bestN := "", 0
-			keys := make([]string, 0, len(counts))
-			for v := range counts {
-				keys = append(keys, v)
-			}
-			sort.Strings(keys)
-			for _, v := range keys {
-				if counts[v] > bestN {
-					best, bestN = v, counts[v]
+			for i, v := range vals {
+				if cnts[i] > bestN || (cnts[i] == bestN && v < best) {
+					best, bestN = v, cnts[i]
 				}
 			}
 			// Authentic iff a majority of the 2f+1 paths agree.
@@ -281,20 +359,28 @@ func (d *overlayDevice) stepInner(innerRound int) {
 
 // flush groups queued pieces by next-hop neighbor into one payload each.
 func (d *overlayDevice) flush() sim.Outbox {
-	byNeighbor := map[string][]string{}
+	if d.byNeighbor == nil {
+		d.byNeighbor = map[string][]string{}
+	}
+	byNeighbor := d.byNeighbor
 	for _, pc := range d.outbox {
 		path := d.router.Path(pc.origin, pc.dest, pc.pathIdx)
 		nextNode := d.router.g.Name(path[pc.hop])
 		if !d.nbs[nextNode] {
 			continue // cannot happen with consistent tables
 		}
-		byNeighbor[nextNode] = append(byNeighbor[nextNode], pc.encode(d.router))
+		d.encBuf = pc.appendEncode(d.encBuf[:0], d.router)
+		byNeighbor[nextNode] = append(byNeighbor[nextNode], string(d.encBuf))
 	}
-	d.outbox = nil
+	d.outbox = d.outbox[:0]
 	out := sim.Outbox{}
 	for nb, frags := range byNeighbor {
+		if len(frags) == 0 {
+			continue // reset key from an earlier flush; nothing queued now
+		}
 		sort.Strings(frags)
 		out[nb] = sim.Payload(strings.Join(frags, "&"))
+		byNeighbor[nb] = frags[:0]
 	}
 	return out
 }

@@ -12,6 +12,7 @@ package firingsquad
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"flm/internal/byzantine"
 	"flm/internal/sim"
@@ -39,6 +40,14 @@ type viaBA struct {
 }
 
 var _ sim.Device = (*viaBA)(nil)
+var _ sim.Fingerprinter = (*viaBA)(nil)
+
+// DeviceFingerprint is the constructor identity: fault bound and peer
+// set. The inner EIG device is created during Step from these plus the
+// stimulus traffic, so it needs no separate identity.
+func (d *viaBA) DeviceFingerprint() string {
+	return fmt.Sprintf("fs/viaba:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+}
 
 // NewViaBA returns a builder for firing-squad devices tolerating f
 // faults among the given peers.
@@ -128,6 +137,12 @@ type countdown struct {
 }
 
 var _ sim.Device = (*countdown)(nil)
+var _ sim.Fingerprinter = (*countdown)(nil)
+
+// DeviceFingerprint is the constructor identity (the fuse length).
+func (d *countdown) DeviceFingerprint() string {
+	return fmt.Sprintf("fs/countdown:fuse=%d", d.fuse)
+}
 
 // NewCountdown returns a builder for countdown devices with the given
 // fuse length (rounds between the claimed stimulus origin and firing).

@@ -1,0 +1,194 @@
+// Package runcache is a process-wide, content-addressed memoization
+// layer for deterministic executions. The impossibility engine replays
+// near-identical scenarios hundreds of times — every chain link
+// re-executes a covering-graph run, every sweep trial re-runs the same
+// device panel — and because devices are deterministic, a run is fully
+// determined by a canonical fingerprint of its inputs. The cache maps
+// such fingerprints to the (immutable) results so identical executions
+// happen once and are shared thereafter.
+//
+// Concurrency contract: Do is single-flight per key. Under parallel
+// sweeps (FLM_WORKERS > 1) concurrent callers with the same fingerprint
+// block on one in-flight computation instead of duplicating it, and the
+// result is published race-cleanly via a channel close. Errors are never
+// cached: every waiter of the failing flight receives the error (and any
+// partial value), then the entry is discarded so a later call retries —
+// partial runs stay diagnosable exactly as in the uncached engine.
+//
+// Enablement: the cache is on by default and can be disabled for
+// debugging with FLM_RUNCACHE=off (or 0/false/no), or programmatically
+// with SetEnabled. Callers must check Enabled before consulting a cache;
+// disabling therefore bypasses lookups without invalidating entries.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time view of a cache's effectiveness counters.
+type Stats struct {
+	Hits    uint64 // lookups served from a finished or in-flight entry
+	Misses  uint64 // lookups that started a computation
+	Entries int    // completed entries currently retained
+}
+
+// entry is one flight: done is closed exactly once, after val/err are
+// set, which is the happens-before edge that publishes them to waiters.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a single-flight memoization table keyed by canonical
+// fingerprints. The zero value is not usable; use New.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// Do returns the value cached under key, computing it with compute on
+// first use. Concurrent callers with the same key share one in-flight
+// computation. A compute that errors (or panics) is handed to every
+// waiter of that flight and then forgotten, so errors are never served
+// from cache. The cached value is shared by all callers and must be
+// treated as immutable.
+func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	finished := false
+	defer func() {
+		if !finished || e.err != nil {
+			c.mu.Lock()
+			if cur, ok := c.entries[key]; ok && cur == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+		close(e.done)
+	}()
+	e.val, e.err = compute()
+	finished = true
+	return e.val, e.err
+}
+
+// Stats returns the current counters. Entries counts retained entries,
+// including any still in flight.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Reset drops all entries and zeroes the counters. In-flight
+// computations finish normally but their results are not retained.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*entry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// override is the SetEnabled state: 0 defer to env, 1 force on, 2 force
+// off.
+var override atomic.Int32
+
+var envOnce sync.Once
+var envDefault bool
+
+func envEnabled() bool {
+	envOnce.Do(func() {
+		switch strings.ToLower(os.Getenv("FLM_RUNCACHE")) {
+		case "0", "off", "false", "no":
+			envDefault = false
+		default:
+			envDefault = true
+		}
+	})
+	return envDefault
+}
+
+// Enabled reports whether caches should be consulted: a SetEnabled
+// override if present, otherwise the FLM_RUNCACHE environment default
+// (on unless set to 0/off/false/no).
+func Enabled() bool {
+	switch override.Load() {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	return envEnabled()
+}
+
+// SetEnabled overrides the environment default and returns a function
+// restoring the previous state, for defer-style use in tests and the
+// CLI.
+func SetEnabled(on bool) (restore func()) {
+	prev := override.Load()
+	if on {
+		override.Store(1)
+	} else {
+		override.Store(2)
+	}
+	return func() { override.Store(prev) }
+}
+
+// Hasher builds collision-resistant cache keys from canonical field
+// sequences. Every field is length-delimited before hashing, so two
+// different field sequences can never produce the same byte stream; the
+// sha256 digest then makes accidental key collisions negligible — which
+// matters, because a colliding key would silently substitute one run
+// for another.
+type Hasher struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewHasher starts a key with a domain-separation tag (e.g.
+// "sim.run/v1"); bump the version when the keyed content changes shape.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.Field(domain)
+	return h
+}
+
+// Field appends one length-delimited string field.
+func (h *Hasher) Field(s string) {
+	n := binary.PutUvarint(h.buf[:], uint64(len(s)))
+	h.h.Write(h.buf[:n])
+	io.WriteString(h.h, s)
+}
+
+// Int appends one integer field.
+func (h *Hasher) Int(v int) { h.Field(strconv.Itoa(v)) }
+
+// Sum returns the finished key.
+func (h *Hasher) Sum() string { return string(h.h.Sum(nil)) }

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"flm/internal/runcache"
+)
+
+// Fingerprinter is an optional Device capability that makes executions
+// content-addressable. DeviceFingerprint returns a canonical encoding of
+// the device's identity: its type and every constructor parameter that
+// influences behavior beyond the (self, neighbors, input) triple, which
+// the executor keys separately. Two devices with equal fingerprints
+// installed at the same node of the same system must behave identically
+// in every round — the model's determinism requirement makes this
+// well-defined, and seeded pseudo-randomness is covered by folding the
+// seed into the fingerprint.
+//
+// Returning "" opts the device out (e.g. a wrapper whose inner device is
+// not fingerprintable); systems containing any non-fingerprintable
+// device bypass the run cache entirely.
+type Fingerprinter interface {
+	DeviceFingerprint() string
+}
+
+// FingerprintOf returns the device's fingerprint, or "" when the device
+// does not support content addressing.
+func FingerprintOf(d Device) string {
+	if f, ok := d.(Fingerprinter); ok {
+		return f.DeviceFingerprint()
+	}
+	return ""
+}
+
+// runCache memoizes whole executions keyed by systemKey. Runs are
+// immutable once executed (nothing in the engine writes a Run after
+// ExecuteCtx returns), so cached runs are shared, not copied.
+var runCache = runcache.New()
+
+// RunCacheStats reports the execution cache's hit/miss counters.
+func RunCacheStats() runcache.Stats { return runCache.Stats() }
+
+// ResetRunCache drops every cached execution, for tests and memory
+// pressure relief in long sweeps.
+func ResetRunCache() { runCache.Reset() }
+
+// systemKey builds the content-addressed key for one execution:
+// (graph structure, per-node device fingerprint and input, rounds,
+// recording options). It reports ok=false — after a cheap capability
+// scan that touches no strings — when any device opts out.
+func systemKey(sys *System, rounds int, opts ExecuteOpts) (string, bool) {
+	for _, d := range sys.Devices {
+		if _, ok := d.(Fingerprinter); !ok {
+			return "", false
+		}
+	}
+	g := sys.G
+	h := runcache.NewHasher("sim.run/v1")
+	h.Int(g.N())
+	for u := 0; u < g.N(); u++ {
+		h.Field(g.Name(u))
+		for _, v := range g.Neighbors(u) {
+			h.Int(v)
+		}
+		h.Int(-1) // neighbor-list terminator
+	}
+	for u := 0; u < g.N(); u++ {
+		fp := sys.Devices[u].(Fingerprinter).DeviceFingerprint()
+		if fp == "" {
+			return "", false
+		}
+		h.Field(fp)
+		h.Field(string(sys.Inputs[u]))
+	}
+	h.Int(rounds)
+	h.Int(boolBit(opts.RecordSnapshots))
+	h.Int(boolBit(opts.RecordEdges))
+	return h.Sum(), true
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

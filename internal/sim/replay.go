@@ -16,16 +16,25 @@ type ReplayDevice struct {
 	self    string
 	scripts map[string][]Payload // per-neighbor payload sequence
 	round   int
+	out     Outbox // reused across Steps; see the Device Outbox contract
 }
 
 var _ Device = (*ReplayDevice)(nil)
+var _ Fingerprinter = (*ReplayDevice)(nil)
 
 // NewReplayDevice builds the Fault-axiom device from per-neighbor payload
 // scripts. Missing neighbors stay silent.
+//
+// The map is cloned (Init prunes it to actual neighbors) but the payload
+// slices are shared with the caller, not copied: scripts come from
+// recorded runs, runs are immutable once executed, and the device only
+// ever reads them. Splice-heavy chains build thousands of replay devices
+// from the same covering run, so the sharing is a measurable allocation
+// win; TestReplayScriptsNotAliased pins the read-only guarantee.
 func NewReplayDevice(scripts map[string][]Payload) *ReplayDevice {
 	copied := make(map[string][]Payload, len(scripts))
 	for nb, seq := range scripts {
-		copied[nb] = append([]Payload(nil), seq...)
+		copied[nb] = seq
 	}
 	return &ReplayDevice{scripts: copied}
 }
@@ -58,14 +67,18 @@ func (d *ReplayDevice) Init(self string, neighbors []string, input Input) {
 
 // Step plays round r of every script, ignoring the inbox entirely.
 func (d *ReplayDevice) Step(round int, inbox Inbox) Outbox {
-	out := Outbox{}
+	if d.out == nil {
+		d.out = make(Outbox, len(d.scripts))
+	} else {
+		clear(d.out)
+	}
 	for nb, seq := range d.scripts {
 		if round < len(seq) && seq[round] != None {
-			out[nb] = seq[round]
+			d.out[nb] = seq[round]
 		}
 	}
 	d.round = round + 1
-	return out
+	return d.out
 }
 
 // Snapshot encodes the replay position and the scripts (canonical order).
@@ -86,3 +99,30 @@ func (d *ReplayDevice) Snapshot() string {
 // Output never decides: a faulty node's "choice" is irrelevant to every
 // correctness condition.
 func (d *ReplayDevice) Output() (Decision, bool) { return Decision{}, false }
+
+// DeviceFingerprint canonically encodes the post-Init scripts — a replay
+// device's behavior is its script content, nothing else — making spliced
+// G-systems content-addressable.
+func (d *ReplayDevice) DeviceFingerprint() string {
+	nbs := make([]string, 0, len(d.scripts))
+	total := 0
+	for nb, seq := range d.scripts {
+		nbs = append(nbs, nb)
+		total += len(nb) + 8
+		for _, p := range seq {
+			total += len(p) + 8
+		}
+	}
+	sort.Strings(nbs)
+	var b strings.Builder
+	b.Grow(len("replay") + total)
+	b.WriteString("replay")
+	for _, nb := range nbs {
+		seq := d.scripts[nb]
+		fmt.Fprintf(&b, "|%d:%s:%d", len(nb), nb, len(seq))
+		for _, p := range seq {
+			fmt.Fprintf(&b, ",%d:%s", len(p), p)
+		}
+	}
+	return b.String()
+}

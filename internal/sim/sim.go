@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"flm/internal/graph"
+	"flm/internal/runcache"
 )
 
 // Payload is the content of one message. The empty payload means "no
@@ -64,7 +65,10 @@ type Outbox map[string]Payload
 //
 // The Inbox passed to Step is owned by the executor and reused between
 // rounds; devices must read what they need during Step and must not
-// retain the map itself.
+// retain the map itself. Symmetrically, the Outbox returned by Step is
+// owned by the device and may be a buffer it reuses on the next Step:
+// callers (the executor included) must consume it before stepping the
+// device again and must never retain it across rounds.
 //
 // Snapshot must canonically encode the full device state so that two
 // devices are behaving identically iff their snapshot sequences are
@@ -145,6 +149,12 @@ func neighborNames(g *graph.Graph, u int) []string {
 
 // Run is a recorded system behavior: every node behavior (snapshot
 // sequence and decision) and every edge behavior (payload per round).
+//
+// A Run is immutable once ExecuteCtx returns it. The run cache depends
+// on this: cached runs are shared between callers (including across
+// goroutines under parallel sweeps), never copied, so consumers must
+// treat every field — Snapshots, Edges and the payload slices inside —
+// as read-only.
 type Run struct {
 	G         *graph.Graph
 	Rounds    int
@@ -152,7 +162,16 @@ type Run struct {
 	Snapshots [][]string               // Snapshots[u][r] = state of node u after round r
 	Edges     map[graph.Edge][]Payload // Edges[e][r] = payload carried in round r
 	Decisions []Decision               // zero Value when the node never decided
+
+	fp string // cache key of the producing execution; "" when not content-addressed
 }
+
+// Fingerprint returns the content-addressed key under which this run was
+// cached (or would have been), or "" when the producing system was not
+// fingerprintable or the run cache was disabled. Runs with equal
+// fingerprints are byte-identical, which is what lets downstream layers
+// (core's splice cache) key on it.
+func (r *Run) Fingerprint() string { return r.fp }
 
 // ExecuteOpts selects what ExecuteWith records. The zero value is the
 // fast mode: only decisions are tracked. Axiom verification (CheckLocality
@@ -210,7 +229,33 @@ func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 // and returned as a *DeviceFault error attributing the panic to its node,
 // round, and operation; the rest of the failing round still executes (and
 // is recorded in full mode) so the partial run is diagnosable.
+//
+// When every device is fingerprintable (see Fingerprinter) and the run
+// cache is enabled, the execution is memoized: a repeat of the same
+// (graph, devices, inputs, rounds, opts) returns the previously recorded
+// Run without stepping any device, and concurrent repeats share a single
+// in-flight execution. Two consequences follow. First, the system must
+// be freshly built — NewSystem-fresh devices that have never stepped —
+// since the key cannot see accumulated device state; every call site in
+// the engine already works this way (re-executing a stepped system was
+// never meaningful). Second, cancellable contexts bypass the cache, so
+// one caller's cancellation can never be replayed to another.
 func ExecuteCtx(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
+	if ctx.Done() == nil && runcache.Enabled() {
+		if key, ok := systemKey(sys, rounds, opts); ok {
+			v, err := runCache.Do(key, func() (any, error) {
+				return executeCore(ctx, sys, rounds, opts, key)
+			})
+			r, _ := v.(*Run)
+			return r, err
+		}
+	}
+	return executeCore(ctx, sys, rounds, opts, "")
+}
+
+// executeCore is the actual executor; key (possibly empty) becomes the
+// run's fingerprint.
+func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts, key string) (*Run, error) {
 	g := sys.G
 	n := g.N()
 	run := &Run{
@@ -218,6 +263,7 @@ func ExecuteCtx(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) 
 		Rounds:    rounds,
 		Inputs:    append([]Input(nil), sys.Inputs...),
 		Decisions: make([]Decision, n),
+		fp:        key,
 	}
 	if opts.RecordSnapshots {
 		run.Snapshots = make([][]string, n)
@@ -282,6 +328,28 @@ func ExecuteCtx(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) 
 		inboxes[u] = make(Inbox, d)
 	}
 
+	// Per-execution intern tables for the retained strings of a full
+	// recording. Devices re-emit equal payloads and snapshots round after
+	// round (a decided device's state stops changing; broadcasts repeat);
+	// interning makes the recorded Run retain one canonical copy of each
+	// distinct string so the duplicates become garbage within the round
+	// that produced them instead of living as long as the run does —
+	// which, with the run cache, is the life of the process. Fast mode
+	// retains neither, and uncacheable runs (key == "") die with their
+	// caller, so only cached full recordings pay the table's hash costs —
+	// for large payloads (signature chains) those are O(bytes) per
+	// delivery and would otherwise tax runs that gain nothing from them.
+	var internSnap map[string]string
+	var internPay map[Payload]Payload
+	if key != "" {
+		if opts.RecordSnapshots {
+			internSnap = make(map[string]string, 2*n)
+		}
+		if opts.RecordEdges {
+			internPay = make(map[Payload]Payload, 4*n)
+		}
+	}
+
 	for r := 0; r < rounds; r++ {
 		if cancelErr := cancelCheck(ctx, r); cancelErr != nil {
 			return run, cancelErr
@@ -320,6 +388,13 @@ func ExecuteCtx(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) 
 					}
 					t := send[u][to]
 					if t.seq != nil {
+						if internPay != nil {
+							if c, ok := internPay[payload]; ok {
+								payload = c
+							} else {
+								internPay[payload] = payload
+							}
+						}
 						t.seq[r] = payload
 					}
 					nxt[t.v][t.slot] = payload
@@ -329,6 +404,13 @@ func ExecuteCtx(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) 
 				snap, snapFault := safeSnapshot(sys.Devices[u], g.Name(u), r)
 				if snapFault != nil && roundErr == nil {
 					roundErr = snapFault
+				}
+				if internSnap != nil {
+					if c, ok := internSnap[snap]; ok {
+						snap = c
+					} else {
+						internSnap[snap] = snap
+					}
 				}
 				run.Snapshots[u][r] = snap
 			}

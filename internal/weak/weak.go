@@ -43,6 +43,13 @@ type detectDefault struct {
 }
 
 var _ sim.Device = (*detectDefault)(nil)
+var _ sim.Fingerprinter = (*detectDefault)(nil)
+
+// DeviceFingerprint is the constructor identity (the decide round);
+// everything else is keyed by the execution cache.
+func (d *detectDefault) DeviceFingerprint() string {
+	return fmt.Sprintf("weak/detectdefault@%d", d.decideRound)
+}
 
 // NewDetectDefault returns a builder for detect-and-default weak
 // agreement devices deciding at the given round.
