@@ -8,14 +8,18 @@
 # bench-smoke  quick bench (1 run/entry) diffed against the committed
 #              baseline, report-only — the CI perf canary
 # chaos        the CI smoke run: randomized adversaries, pinned seed
+# trace-smoke  run E1 under -trace, fold the JSONL with flm stats, and
+#              fail if the summary comes out empty — the end-to-end
+#              check on the observability layer
 
 GO ?= go
 RACE_WORKERS ?= 4
 CHAOS_SEED ?= 1
 CHAOS_TRIALS ?= 64
 BENCH_BASELINE ?= BENCH_2026-08-06-runcache.json
+TRACE_FILE ?= /tmp/flm-trace-smoke.jsonl
 
-.PHONY: verify verify-race bench bench-smoke chaos
+.PHONY: verify verify-race bench bench-smoke chaos trace-smoke
 
 verify:
 	$(GO) build ./...
@@ -33,3 +37,9 @@ bench-smoke:
 
 chaos:
 	$(GO) run ./cmd/flm chaos -seed $(CHAOS_SEED) -trials $(CHAOS_TRIALS)
+
+trace-smoke:
+	$(GO) run ./cmd/flm run -trace $(TRACE_FILE) E1 > /dev/null
+	$(GO) run ./cmd/flm stats $(TRACE_FILE) | tee /tmp/flm-trace-smoke.txt
+	@grep -q "hit rate" /tmp/flm-trace-smoke.txt || { echo "trace-smoke: no cache summary in flm stats output" >&2; exit 1; }
+	@grep -q "core.chain.link" /tmp/flm-trace-smoke.txt || { echo "trace-smoke: no chain-link spans in flm stats output" >&2; exit 1; }

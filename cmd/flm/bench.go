@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"flm"
+	"flm/internal/obs"
 	"flm/internal/sweep"
 )
 
@@ -42,49 +44,49 @@ type BenchReport struct {
 	Entries    []BenchEntry `json:"entries"`
 }
 
-// measure times fn over the given number of runs and reports per-op
-// wall-clock and allocation figures from the runtime's allocator
-// counters. A GC fence before the timed region keeps prior garbage out
-// of the numbers; background allocation noise is small compared to the
-// millions of allocations per experiment.
+// measure times fn once per run and keeps the fastest run's figures.
+// Scheduler interference on a shared core only ever adds time, so the
+// minimum is a far more stable estimator than the mean — a mean-of-3
+// gate at a few percent is unusable when a single preemption can double
+// a short entry. Each run starts from a cold run cache behind a GC
+// fence, so runs are identical, independent workloads: earlier entries
+// (and earlier runs) must not donate cache hits or leave retained runs
+// in the live heap inflating GC mark phases, while hits *within* one
+// run — chain builders re-splicing the same cover run — are still part
+// of the measured workload. Allocation counters are taken from the
+// fastest run; they are deterministic per cold run anyway.
 func measure(id, name string, runs int, fn func() error) (BenchEntry, error) {
-	// Each entry measures from a cold run cache: earlier entries must not
-	// donate cache hits, and — just as important on a suite this long —
-	// their retained runs must not sit in the live heap inflating every
-	// GC mark phase of the allocation-heavy entries that follow. Within
-	// the entry the cache warms normally across iterations, which is the
-	// workload a long-lived analysis process actually sees.
-	flm.ResetRunCaches()
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
+	best := BenchEntry{ID: id, Name: name, Runs: runs}
 	for i := 0; i < runs; i++ {
+		flm.ResetRunCaches()
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
 		if err := fn(); err != nil {
 			return BenchEntry{}, fmt.Errorf("%s: %w", id, err)
 		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if i == 0 || elapsed.Nanoseconds() < best.NsPerOp {
+			best.NsPerOp = elapsed.Nanoseconds()
+			best.AllocsPerOp = after.Mallocs - before.Mallocs
+			best.BytesPerOp = after.TotalAlloc - before.TotalAlloc
+		}
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	return BenchEntry{
-		ID:          id,
-		Name:        name,
-		Runs:        runs,
-		NsPerOp:     elapsed.Nanoseconds() / int64(runs),
-		AllocsPerOp: (after.Mallocs - before.Mallocs) / uint64(runs),
-		BytesPerOp:  (after.TotalAlloc - before.TotalAlloc) / uint64(runs),
-	}, nil
+	return best, nil
 }
 
 func cmdBench(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	outPath := fs.String("o", "", "output JSON path (default BENCH_<date>.json)")
-	runs := fs.Int("runs", 3, "iterations per workload")
+	runs := fs.Int("runs", 3, "cold runs per workload; the fastest is reported")
 	workers := fs.Int("workers", 0, "sweep worker count (0 = FLM_WORKERS env or GOMAXPROCS)")
 	compare := fs.String("compare", "", "baseline BENCH json to diff the fresh numbers against")
-	threshold := fs.Float64("threshold", 0, "regression gate: exit nonzero if any shared entry worsens by more than this percent (0 = report-only)")
+	threshold := fs.Float64("threshold", 0, "regression gate: exit nonzero if any shared entry's allocs/op or B/op worsens by more than this percent; ns/op is flagged but not gated (0 = report-only)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (post-suite, after GC) to this file")
+	tracePath := fs.String("trace", "", "write a JSONL instrumentation trace (spans+metrics) to this file; FLM_TRACE is the env fallback")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +97,13 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 	prev := sweep.SetWorkers(*workers)
 	defer sweep.SetWorkers(prev)
+
+	stopTrace, err := startTrace(traceTarget(*tracePath), out)
+	if err != nil {
+		fmt.Fprintf(out, "bench: %v\n", err)
+		return 1
+	}
+	defer stopTrace()
 
 	var baseline *BenchReport
 	if *compare != "" {
@@ -145,10 +154,10 @@ func cmdBench(args []string, out io.Writer) int {
 
 	for _, e := range flm.Experiments() {
 		exp := e
-		entry, err := measure(exp.ID, exp.Name, *runs, func() error {
+		entry, err := measure(exp.ID, exp.Name, *runs, labeled(exp.ID, func() error {
 			_, err := exp.Run()
 			return err
-		})
+		}))
 		if err != nil {
 			fmt.Fprintf(out, "bench: %v\n", err)
 			return 1
@@ -159,7 +168,7 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 
 	for _, m := range microBenches() {
-		entry, err := measure(m.id, m.name, *runs, m.fn)
+		entry, err := measure(m.id, m.name, *runs, labeled(m.id, m.fn))
 		if err != nil {
 			fmt.Fprintf(out, "bench: %v\n", err)
 			return 1
@@ -231,8 +240,13 @@ func pctDelta(cur, old float64) float64 {
 // compareReports prints per-entry ns/op, allocs/op and B/op deltas of cur
 // against base, matching entries by ID. Entries present on only one side
 // are reported but never gate. With threshold > 0, any shared entry
-// whose ns/op, allocs/op or B/op worsened by more than threshold percent
-// marks the comparison regressed (the returned bool).
+// whose allocs/op or B/op worsened by more than threshold percent marks
+// the comparison regressed (the returned bool). ns/op deltas are
+// reported — and flagged when they exceed the threshold — but never
+// gate: allocation counts are deterministic per workload, wall-clock on
+// a shared machine is not, and a gate that can fail on an idle
+// neighbor's load spike trains people to ignore it. Chase a flagged
+// ns-only delta with -cpuprofile on a quiet machine.
 func compareReports(out io.Writer, cur, base *BenchReport, baseName string, threshold float64) bool {
 	baseByID := make(map[string]BenchEntry, len(base.Entries))
 	for _, e := range base.Entries {
@@ -252,9 +266,13 @@ func compareReports(out io.Writer, cur, base *BenchReport, baseName string, thre
 		dal := pctDelta(float64(e.AllocsPerOp), float64(b.AllocsPerOp))
 		dby := pctDelta(float64(e.BytesPerOp), float64(b.BytesPerOp))
 		flag := ""
-		if threshold > 0 && (dns > threshold || dal > threshold || dby > threshold) {
-			regressed = true
-			flag = "  REGRESSION"
+		if threshold > 0 {
+			if dal > threshold || dby > threshold {
+				regressed = true
+				flag = "  REGRESSION"
+			} else if dns > threshold {
+				flag = "  ns regression (not gated)"
+			}
 		}
 		fmt.Fprintf(out, "%-28s ns/op %+7.1f%%   allocs/op %+7.1f%%   B/op %+7.1f%%%s\n",
 			e.ID, dns, dal, dby, flag)
@@ -273,6 +291,20 @@ func compareReports(out io.Writer, cur, base *BenchReport, baseName string, thre
 		fmt.Fprintf(out, "bench: regression above %.1f%% threshold\n", threshold)
 	}
 	return regressed
+}
+
+// labeled wraps a workload in a pprof label carrying its bench entry ID.
+// Sweep worker goroutines spawned inside inherit the label, so a
+// -cpuprofile of the suite attributes every sample — including parallel
+// sweep work — to the experiment that caused it.
+func labeled(id string, fn func() error) func() error {
+	return func() error {
+		var err error
+		pprof.Do(context.Background(), pprof.Labels("flm_experiment", id), func(context.Context) {
+			err = fn()
+		})
+		return err
+	}
 }
 
 type microBench struct {
@@ -315,10 +347,21 @@ func microBenches() []microBench {
 			return err
 		}
 	}
+	// The obs-disabled entry runs the fast-mode trial with the tracer
+	// forcibly uninstalled, so even under `bench -trace` it measures the
+	// instrumentation-free engine. Diffing it against micro:eig-n10-f3-fast
+	// in a -compare run is the standing zero-overhead check on the obs
+	// layer (the in-repo BenchmarkObsDisabled pins the allocs to zero).
+	obsOff := eigTrial(flm.ExecuteOpts{})
 	return []microBench{
 		{"micro:eig-n10-f3-full", "EIG trial, full recording", eigTrial(flm.FullRecording)},
 		{"micro:eig-n10-f3-fast", "EIG trial, decision-only fast mode", eigTrial(flm.ExecuteOpts{})},
 		{"micro:e17-census-seq", "E17 frontier census, 1 sweep worker", censusSweep(1)},
 		{"micro:e17-census-par", "E17 frontier census, default sweep workers", censusSweep(0)},
+		{"micro:obs-disabled", "EIG trial, fast mode, tracing forcibly disabled", func() error {
+			restore := obs.SetTracer(nil)
+			defer restore()
+			return obsOff()
+		}},
 	}
 }

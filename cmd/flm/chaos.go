@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"runtime/pprof"
 
 	"flm"
 )
@@ -20,6 +21,7 @@ func cmdChaos(args []string, out io.Writer) int {
 	timeout := fs.Duration("timeout", flm.ChaosDefaultTimeout, "per-trial wall budget")
 	workers := fs.Int("workers", 0, "parallel trials (0 = FLM_WORKERS or GOMAXPROCS)")
 	noShrink := fs.Bool("noshrink", false, "skip counterexample shrinking")
+	tracePath := fs.String("trace", "", "write a JSONL instrumentation trace (spans+metrics) to this file; FLM_TRACE is the env fallback")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -28,7 +30,16 @@ func cmdChaos(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "chaos: unexpected argument %q\n", fs.Arg(0))
 		return 2
 	}
-	rep, err := flm.RunChaos(context.Background(), flm.ChaosConfig{
+	stop, err := startTrace(traceTarget(*tracePath), out)
+	if err != nil {
+		fmt.Fprintf(out, "chaos: %v\n", err)
+		return 1
+	}
+	defer stop()
+	// Label the harness's pprof context so CPU profiles attribute sweep
+	// worker samples to the chaos run (and per-worker via sweep_worker).
+	ctx := pprof.WithLabels(context.Background(), pprof.Labels("flm_cmd", "chaos"))
+	rep, err := flm.RunChaos(ctx, flm.ChaosConfig{
 		Seed:     *seed,
 		Trials:   *trials,
 		Timeout:  *timeout,

@@ -47,6 +47,8 @@ func run(args []string, out io.Writer) int {
 		return cmdBench(args[1:], out)
 	case "chaos":
 		return cmdChaos(args[1:], out)
+	case "stats":
+		return cmdStats(args[1:], out)
 	case "help", "-h", "--help":
 		usage(out)
 		return 0
@@ -67,7 +69,8 @@ commands:
   adequacy <n> <f>     adequacy report for the complete graph K_n
   prove <device>       defeat a device with the hexagon argument
   dot <cover> [m]      Graphviz DOT of a covering (hex|diamond|ring)
-  trace <device>       round-by-round traffic of the hexagon covering run
+  trace <device>       traffic trace: the round-by-round protocol traffic
+                       of the hexagon covering run (unrelated to -trace)
   bench [-o file] [-runs n] [-workers n] [-compare baseline.json]
         [-threshold pct] [-cpuprofile f] [-memprofile f]
                        benchmark the experiments and write BENCH_<date>.json;
@@ -77,7 +80,16 @@ commands:
   chaos [-seed n] [-trials n] [-timeout d] [-workers n] [-noshrink]
                        fire seeded randomized adversaries at the protocol
                        panel; violations on inadequate graphs are expected
-                       and shrunk to minimal counterexamples`)
+                       and shrunk to minimal counterexamples
+  stats <trace.jsonl>  summarize an instrumentation trace: cache hit
+                       rates, sweep worker utilization, chain structure,
+                       chaos outcomes, slowest spans
+
+The run, all, prove, chaos, and bench commands accept a global
+-trace <file.jsonl> flag (env fallback FLM_TRACE) that records every
+span, event, and metric of the invocation as JSON Lines; inspect the
+result with flm stats. Tracing off costs nothing: the engine runs its
+instrumentation-free path.`)
 }
 
 func cmdDot(args []string, out io.Writer) int {
@@ -112,7 +124,7 @@ func cmdDot(args []string, out io.Writer) int {
 
 func cmdTrace(args []string, out io.Writer) int {
 	if len(args) != 1 {
-		fmt.Fprintln(out, "trace: usage: flm trace <device>  (majority|eig|phase-king)")
+		fmt.Fprintln(out, "trace: usage: flm trace <device>  (majority|eig|phase-king) — prints the covering run's traffic trace; for an instrumentation trace use -trace on run/all/prove/chaos/bench")
 		return 2
 	}
 	tri := flm.Triangle()
@@ -160,18 +172,31 @@ func cmdList(out io.Writer) int {
 	return 0
 }
 
-func cmdRun(ids []string, out io.Writer) int {
-	if len(ids) == 0 {
-		fmt.Fprintln(out, "run: need at least one experiment ID")
+func cmdRun(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "write a JSONL instrumentation trace (spans+metrics) to this file; FLM_TRACE is the env fallback")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(out, "run: need at least one experiment ID: flm run [-trace file.jsonl] <id> [<id>...]")
+		return 2
+	}
+	stop, err := startTrace(traceTarget(*tracePath), out)
+	if err != nil {
+		fmt.Fprintf(out, "run: %v\n", err)
+		return 1
+	}
+	defer stop()
 	for _, id := range ids {
 		e, ok := flm.FindExperiment(strings.ToUpper(id))
 		if !ok {
 			fmt.Fprintf(out, "no experiment %q (try: flm list)\n", id)
 			return 2
 		}
-		res, err := e.Run()
+		res, err := runExperiment(e)
 		if err != nil {
 			fmt.Fprintf(out, "%s failed: %v\n", e.ID, err)
 			return 1
@@ -184,6 +209,7 @@ func cmdRun(ids []string, out io.Writer) int {
 func cmdAll(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	outPath := fs.String("o", "", "also write the report to this file")
+	tracePath := fs.String("trace", "", "write a JSONL instrumentation trace (spans+metrics) to this file; FLM_TRACE is the env fallback")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -198,8 +224,14 @@ func cmdAll(args []string, out io.Writer) int {
 		defer f.Close()
 		sink = io.MultiWriter(out, f)
 	}
+	stop, err := startTrace(traceTarget(*tracePath), out)
+	if err != nil {
+		fmt.Fprintf(out, "all: %v\n", err)
+		return 1
+	}
+	defer stop()
 	for _, e := range flm.Experiments() {
-		res, err := e.Run()
+		res, err := runExperiment(e)
 		if err != nil {
 			fmt.Fprintf(sink, "%s FAILED: %v\n", e.ID, err)
 			return 1
@@ -233,10 +265,23 @@ func cmdAdequacy(args []string, out io.Writer) int {
 }
 
 func cmdProve(args []string, out io.Writer) int {
-	if len(args) != 1 {
-		fmt.Fprintln(out, "prove: usage: flm prove <device>")
+	fs := flag.NewFlagSet("prove", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "write a JSONL instrumentation trace (spans+metrics) to this file; FLM_TRACE is the env fallback")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	args = fs.Args()
+	if len(args) != 1 {
+		fmt.Fprintln(out, "prove: usage: flm prove [-trace file.jsonl] <device>")
+		return 2
+	}
+	stop, err := startTrace(traceTarget(*tracePath), out)
+	if err != nil {
+		fmt.Fprintf(out, "prove: %v\n", err)
+		return 1
+	}
+	defer stop()
 	g := flm.Triangle()
 	peers := g.Names()
 	devices := map[string]flm.Builder{

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"flm/internal/obs"
 	"flm/internal/sweep"
 )
 
@@ -80,6 +81,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
+	traced := obs.Enabled()
+	if traced {
+		var runSpan *obs.Span
+		ctx, runSpan = obs.StartSpan(ctx, "chaos.run",
+			obs.Int64("seed", cfg.Seed), obs.Int("trials", cfg.Trials))
+		defer runSpan.End()
+	}
 	schedules := make([]Schedule, cfg.Trials)
 	for i := range schedules {
 		schedules[i] = NewSchedule(cfg.Seed, i)
@@ -94,20 +102,32 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{Seed: cfg.Seed, Trials: cfg.Trials}
 	for i := 0; i < cfg.Trials; i++ {
 		s := schedules[i]
+		outcome := "green"
+		detail := ""
+		shrunkActions := -1
 		switch {
 		case errs[i] != nil:
+			outcome, detail = "fault", errs[i].Error()
 			rep.Unexpected = append(rep.Unexpected, Finding{
 				Trial: i, Schedule: s, Violation: errs[i].Error(),
 			})
 		case outcomes[i].EngineErr != nil:
+			outcome, detail = "fault", "engine: "+outcomes[i].EngineErr.Error()
 			rep.Unexpected = append(rep.Unexpected, Finding{
 				Trial: i, Schedule: s, Violation: "engine: " + outcomes[i].EngineErr.Error(),
 			})
 		case outcomes[i].Violation != nil:
-			f := Finding{Trial: i, Schedule: s, Violation: outcomes[i].Violation.Error(), Expected: !s.Adequate}
+			detail = outcomes[i].Violation.Error()
+			f := Finding{Trial: i, Schedule: s, Violation: detail, Expected: !s.Adequate}
+			if f.Expected {
+				outcome = "violation"
+			} else {
+				outcome = "unexpected-violation"
+			}
 			if !cfg.NoShrink {
-				if shrunk, ok := Shrink(s); ok {
+				if shrunk, ok := shrinkTraced(ctx, i, s, traced); ok {
 					f.Shrunk = &shrunk
+					shrunkActions = len(shrunk.Actions)
 				}
 			}
 			if f.Expected {
@@ -118,8 +138,60 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		default:
 			rep.Green++
 		}
+		if traced {
+			recordTrial(ctx, i, s, outcome, detail, shrunkActions)
+		}
 	}
 	return rep, nil
+}
+
+// shrinkTraced wraps Shrink in a "chaos.shrink" span recording how many
+// candidate schedules the minimizer re-executed and the before/after
+// action counts; untraced it is Shrink verbatim.
+func shrinkTraced(ctx context.Context, trial int, s Schedule, traced bool) (Schedule, bool) {
+	if !traced {
+		return Shrink(s)
+	}
+	_, span := obs.StartSpan(ctx, "chaos.shrink",
+		obs.Int("trial", trial), obs.Int("actions", len(s.Actions)))
+	before := mShrinkEvals.Value()
+	shrunk, ok := Shrink(s)
+	span.SetAttrs(obs.Int64("evals", int64(mShrinkEvals.Value()-before)))
+	if ok {
+		span.SetAttrs(obs.Int("shrunk_actions", len(shrunk.Actions)))
+	}
+	span.End()
+	return shrunk, ok
+}
+
+// recordTrial emits one "chaos.trial" event carrying the trial's attack
+// schedule and its classification, and ticks the outcome counters.
+func recordTrial(ctx context.Context, i int, s Schedule, outcome, detail string, shrunkActions int) {
+	mTrials.Inc()
+	switch outcome {
+	case "green":
+		mGreen.Inc()
+	case "fault":
+		mEngineFaults.Inc()
+	default:
+		mViolations.Inc()
+	}
+	attrs := []obs.Attr{
+		obs.Int("trial", i),
+		obs.Str("protocol", s.Protocol),
+		obs.Int("n", s.N),
+		obs.Int("f", s.F),
+		obs.Bool("adequate", s.Adequate),
+		obs.Str("schedule", s.Describe()),
+		obs.Str("outcome", outcome),
+	}
+	if detail != "" {
+		attrs = append(attrs, obs.Str("violation", detail))
+	}
+	if shrunkActions >= 0 {
+		attrs = append(attrs, obs.Int("shrunk_actions", shrunkActions))
+	}
+	obs.Event(ctx, "chaos.trial", attrs...)
 }
 
 // Describe renders a schedule on one line.

@@ -1,5 +1,7 @@
 package chaos
 
+import "flm/internal/obs"
+
 // Shrinking: a violating schedule found by the randomized generator may
 // carry faulty actions that contribute nothing to the violation (and, at
 // f = 2, more faulty nodes than necessary). Shrink applies greedy
@@ -25,6 +27,9 @@ var weakerThan = map[string][]string{
 // correctness condition (engine faults do not count: a shrink step that
 // turns a violation into a crash is rejected).
 func violates(s Schedule) bool {
+	if obs.Enabled() {
+		mShrinkEvals.Inc()
+	}
 	o := RunSchedule(s)
 	return o.Violation != nil && o.EngineErr == nil
 }

@@ -1,0 +1,16 @@
+package chaos
+
+import "flm/internal/obs"
+
+// Observability for the chaos harness. All counters tick only while a
+// tracer is installed, so an untraced chaos run executes the exact
+// pre-instrumentation path. Per-trial "chaos.trial" events carry the
+// attack schedule and classification; "chaos.shrink" spans record how
+// many candidate re-executions the minimizer spent per counterexample.
+var (
+	mTrials       = obs.NewCounter("chaos.trials")
+	mGreen        = obs.NewCounter("chaos.green")
+	mViolations   = obs.NewCounter("chaos.violations")
+	mEngineFaults = obs.NewCounter("chaos.engine_faults")
+	mShrinkEvals  = obs.NewCounter("chaos.shrink.evals")
+)

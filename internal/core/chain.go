@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"flm/internal/graph"
+	"flm/internal/obs"
 	"flm/internal/sim"
 )
 
@@ -28,6 +30,49 @@ type Link struct {
 	Expect  string   // human-readable statement of the forced conclusion
 	Correct []string // G-names of correct nodes
 	Faulty  []string // G-names of faulty nodes
+}
+
+// addLink appends one constructed behavior to the contradiction chain
+// and, under tracing, emits a "core.chain.link" span describing the
+// chain's structure: the theorem, the link's name and depth, its correct
+// and faulty G-sets, the spliced S-subset, and the correct nodes shared
+// with the previous link — the overlap the paper's argument rides on
+// (E2 inherits c's behavior from E1 and donates a's to E3). Debugging a
+// failed chain starts from exactly this record.
+func (cr *ChainResult) addLink(l Link) {
+	if obs.Enabled() {
+		_, span := obs.StartSpan(context.Background(), "core.chain.link",
+			obs.Str("theorem", cr.Theorem),
+			obs.Str("link", l.Name),
+			obs.Int("depth", len(cr.Links)+1),
+			obs.Str("correct", strings.Join(l.Correct, ",")),
+			obs.Str("faulty", strings.Join(l.Faulty, ",")))
+		if l.Splice != nil {
+			span.SetAttrs(obs.Str("spliced", strings.Join(l.Splice.UNodes, ",")))
+		}
+		if n := len(cr.Links); n > 0 {
+			span.SetAttrs(obs.Str("shared_correct",
+				strings.Join(intersect(cr.Links[n-1].Correct, l.Correct), ",")))
+		}
+		span.End()
+	}
+	cr.Links = append(cr.Links, l)
+}
+
+// intersect returns the names present in both sorted-or-not slices, in
+// a's order. Chains are three to a few dozen links of at most a handful
+// of nodes, so the quadratic scan is irrelevant.
+func intersect(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // ChainResult is the outcome of running an impossibility argument against

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 
 	"flm/internal/graph"
+	"flm/internal/obs"
 	"flm/internal/runcache"
 	"flm/internal/sim"
 )
@@ -43,6 +46,9 @@ type Splice struct {
 // installation was built from — which is how every theorem driver calls
 // it — and falls through to a fresh execution otherwise.
 func SpliceScenario(inst *Installation, runS *sim.Run, u []int, builders map[string]sim.Builder) (*Splice, error) {
+	if obs.Enabled() {
+		return spliceScenarioTraced(inst, runS, u, builders)
+	}
 	if key, ok := spliceKey(inst, runS, u, builders); ok {
 		v, err := spliceCache.Do(key, func() (any, error) {
 			return spliceScenario(inst, runS, u, builders)
@@ -51,6 +57,64 @@ func SpliceScenario(inst *Installation, runS *sim.Run, u []int, builders map[str
 		return sp, err
 	}
 	return spliceScenario(inst, runS, u, builders)
+}
+
+// Splice-cache metrics, ticked on the traced path only (the disabled
+// engine stays byte-identical to the uninstrumented one).
+var (
+	mSpliceHit      = obs.NewCounter("core.splice.hit")
+	mSpliceWait     = obs.NewCounter("core.splice.wait")
+	mSpliceMiss     = obs.NewCounter("core.splice.miss")
+	mSpliceUncached = obs.NewCounter("core.splice.uncached")
+)
+
+// spliceScenarioTraced is SpliceScenario's traced twin: the same cache
+// dispatch wrapped in a "core.splice" span recording the scenario size,
+// how the splice cache served it, and — on success — the correct and
+// faulty G-node sets of the constructed behavior.
+func spliceScenarioTraced(inst *Installation, runS *sim.Run, u []int, builders map[string]sim.Builder) (*Splice, error) {
+	ctx, span := obs.StartSpan(context.Background(), "core.splice",
+		obs.Int("scenario_nodes", len(u)),
+		obs.Int("cover_nodes", inst.Cover.S.N()))
+	var (
+		res        *Splice
+		err        error
+		cacheState string
+	)
+	if key, ok := spliceKey(inst, runS, u, builders); ok {
+		var v any
+		var hit, waited bool
+		v, hit, waited, err = spliceCache.DoObserved(key, func() (any, error) {
+			return spliceScenarioCtx(ctx, inst, runS, u, builders)
+		})
+		res, _ = v.(*Splice)
+		switch {
+		case waited:
+			cacheState = "wait"
+			mSpliceWait.Inc()
+		case hit:
+			cacheState = "hit"
+			mSpliceHit.Inc()
+		default:
+			cacheState = "miss"
+			mSpliceMiss.Inc()
+		}
+	} else {
+		cacheState = "uncacheable"
+		mSpliceUncached.Inc()
+		res, err = spliceScenarioCtx(ctx, inst, runS, u, builders)
+	}
+	span.SetAttrs(obs.Str("cache", cacheState))
+	if err != nil {
+		span.SetAttrs(obs.Str("error", err.Error()))
+	}
+	if res != nil {
+		span.SetAttrs(
+			obs.Str("correct", strings.Join(res.Correct, ",")),
+			obs.Str("faulty", strings.Join(res.Faulty, ",")))
+	}
+	span.End()
+	return res, err
 }
 
 // spliceCache memoizes whole splices — the constructed G-run plus the
@@ -90,6 +154,14 @@ func spliceKey(inst *Installation, runS *sim.Run, u []int, builders map[string]s
 }
 
 func spliceScenario(inst *Installation, runS *sim.Run, u []int, builders map[string]sim.Builder) (*Splice, error) {
+	return spliceScenarioCtx(context.Background(), inst, runS, u, builders)
+}
+
+// spliceScenarioCtx threads a context so that, under tracing, the
+// constructed G-run's "sim.execute" span nests inside the "core.splice"
+// span that requested it. The context is never cancellable here (a
+// cancellable context would bypass the run cache).
+func spliceScenarioCtx(ctx context.Context, inst *Installation, runS *sim.Run, u []int, builders map[string]sim.Builder) (*Splice, error) {
 	cover := inst.Cover
 	if err := cover.InducedIsomorphic(u); err != nil {
 		return nil, fmt.Errorf("core: scenario not spliceable: %w", err)
@@ -151,7 +223,7 @@ func spliceScenario(inst *Installation, runS *sim.Run, u []int, builders map[str
 	if err != nil {
 		return nil, err
 	}
-	runG, err := sim.Execute(sys, runS.Rounds)
+	runG, err := sim.ExecuteCtx(ctx, sys, runS.Rounds, sim.FullRecording)
 	if err != nil {
 		return nil, err
 	}

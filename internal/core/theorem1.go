@@ -74,7 +74,7 @@ func ByzantineNodes(g *graph.Graph, f int, a, b, c []int, builders map[string]si
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: sc.name, Splice: sp, Expect: sc.expect,
 			Correct: sp.Correct, Faulty: sp.Faulty,
 		})
@@ -173,7 +173,7 @@ func ByzantineConnectivity(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: sc.name, Splice: sp, Expect: sc.expect,
 			Correct: sp.Correct, Faulty: sp.Faulty,
 		})

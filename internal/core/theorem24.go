@@ -82,7 +82,7 @@ func WeakAgreementRing(builders map[string]sim.Builder, device string, horizon i
 		}
 		base[bit] = run
 		name := "B" + bit
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: baseSplice(run),
 			Expect:  fmt.Sprintf("all-correct unanimous %s: choice + validity force %s", bit, bit),
 			Correct: run.G.Names(),
@@ -139,7 +139,7 @@ func WeakAgreementRing(builders map[string]sim.Builder, device string, horizon i
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  "the two correct nodes must agree",
 			Correct: sp.Correct, Faulty: sp.Faulty,
@@ -218,7 +218,7 @@ func FiringSquadRing(builders map[string]sim.Builder, device string, horizon int
 		if stimulated {
 			expect = "stimulus everywhere and all correct: everyone fires, simultaneously"
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: baseSplice(run), Expect: expect, Correct: run.G.Names(),
 		})
 		rep := firingsquad.Check(run, run.G.Names(), true, stimulated)
@@ -274,7 +274,7 @@ func FiringSquadRing(builders map[string]sim.Builder, device string, horizon int
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  "the two correct nodes fire simultaneously or not at all",
 			Correct: sp.Correct, Faulty: sp.Faulty,

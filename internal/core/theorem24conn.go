@@ -128,7 +128,7 @@ func WeakAgreementCutRing(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode 
 		}
 		base[bit] = run
 		name := "B" + bit
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: baseSplice(run),
 			Expect:  fmt.Sprintf("all-correct unanimous %s: choice + validity force %s", bit, bit),
 			Correct: run.G.Names(),
@@ -183,7 +183,7 @@ func WeakAgreementCutRing(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode 
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  "all correct nodes in this one-fault behavior must agree",
 			Correct: sp.Correct, Faulty: sp.Faulty,
@@ -261,7 +261,7 @@ func FiringSquadCutRing(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode in
 		base[bit] = run
 		name := "B" + bit
 		stimulated := bit == "1"
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: baseSplice(run),
 			Expect:  "base validity: fire simultaneously iff stimulated",
 			Correct: run.G.Names(),
@@ -316,7 +316,7 @@ func FiringSquadCutRing(g *graph.Graph, f int, bSet, dSet []int, uNode, vNode in
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  "correct nodes fire simultaneously or not at all",
 			Correct: sp.Correct, Faulty: sp.Faulty,
@@ -389,7 +389,7 @@ func SimpleApproxConnectivity(g *graph.Graph, f int, bSet, dSet []int, uNode, vN
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: sc.name, Splice: sp, Expect: sc.expect,
 			Correct: sp.Correct, Faulty: sp.Faulty,
 		})

@@ -103,7 +103,7 @@ func WeakAgreementNodesRing(g *graph.Graph, f int, aSet, bSet, cSet []int, build
 		}
 		base[bit] = run
 		name := "B" + bit
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: baseSplice(run),
 			Expect:  fmt.Sprintf("all-correct unanimous %s: choice + validity force %s", bit, bit),
 			Correct: run.G.Names(),
@@ -152,7 +152,7 @@ func WeakAgreementNodesRing(g *graph.Graph, f int, aSet, bSet, cSet []int, build
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  "all correct nodes in this one-block-fault behavior must agree",
 			Correct: sp.Correct, Faulty: sp.Faulty,
@@ -190,7 +190,7 @@ func FiringSquadNodesRing(g *graph.Graph, f int, aSet, bSet, cSet []int, builder
 		base[bit] = run
 		name := "B" + bit
 		stimulated := bit == "1"
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: baseSplice(run),
 			Expect:  "base validity: fire simultaneously iff stimulated",
 			Correct: run.G.Names(),
@@ -239,7 +239,7 @@ func FiringSquadNodesRing(g *graph.Graph, f int, aSet, bSet, cSet []int, builder
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  "correct nodes fire simultaneously or not at all",
 			Correct: sp.Correct, Faulty: sp.Faulty,

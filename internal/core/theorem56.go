@@ -67,7 +67,7 @@ func SimpleApproxNodes(g *graph.Graph, f int, a, b, c []int, builders map[string
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", sc.name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: sc.name, Splice: sp, Expect: sc.expect,
 			Correct: sp.Correct, Faulty: sp.Faulty,
 		})
@@ -168,7 +168,7 @@ func EpsilonDeltaGamma(params EDGParams, builders map[string]sim.Builder, device
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  fmt.Sprintf("choices within ε of each other and within [%v-γ, %v+γ]", float64(i)*params.Delta, float64(i+1)*params.Delta),
 			Correct: sp.Correct, Faulty: sp.Faulty,
@@ -262,7 +262,7 @@ func EpsilonDeltaGammaNodes(params EDGParams, g *graph.Graph, f int, aSet, bSet,
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  fmt.Sprintf("choices within ε and within γ of [%v, %v]", float64(j)*params.Delta, float64(j+1)*params.Delta),
 			Correct: sp.Correct, Faulty: sp.Faulty,
@@ -334,7 +334,7 @@ func EpsilonDeltaGammaConnectivity(params EDGParams, g *graph.Graph, f int, bSet
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", name, err)
 		}
-		cr.Links = append(cr.Links, Link{
+		cr.addLink(Link{
 			Name: name, Splice: sp,
 			Expect:  "choices within ε and within γ of the inputs",
 			Correct: sp.Correct, Faulty: sp.Faulty,

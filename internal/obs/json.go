@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// appendUint/appendInt/appendFloat render numbers without the fmt
+// machinery (which allocates).
+func appendUint(buf []byte, v uint64) []byte { return strconv.AppendUint(buf, v, 10) }
+
+func appendInt(buf []byte, v int64) []byte { return strconv.AppendInt(buf, v, 10) }
+
+// appendFloat renders a float as JSON. NaN and infinities are not
+// representable in JSON; they become null rather than corrupting the
+// line.
+func appendFloat(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(buf, "null"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString renders s as a JSON string literal. strconv's quoting
+// is not used because it emits Go escapes (\x, \U) that are invalid
+// JSON; this escaper covers the JSON grammar exactly: quote, backslash,
+// and control characters below 0x20 (invalid UTF-8 bytes pass through —
+// payload bytes are engine-generated and always valid UTF-8, and a
+// replacement here would silently alter recorded traffic).
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b >= 0x20 && b != '"' && b != '\\' {
+			_, size := utf8.DecodeRuneInString(s[i:])
+			i += size
+			continue
+		}
+		buf = append(buf, s[start:i]...)
+		switch b {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xf])
+		}
+		i++
+		start = i
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}

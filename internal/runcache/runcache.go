@@ -37,7 +37,30 @@ import (
 type Stats struct {
 	Hits    uint64 // lookups served from a finished or in-flight entry
 	Misses  uint64 // lookups that started a computation
+	Waits   uint64 // hits that blocked on a still-in-flight computation
 	Entries int    // completed entries currently retained
+}
+
+// Since returns the counter deltas accumulated after prev was taken —
+// the per-command (or per-experiment) view of a cache whose counters are
+// process-global and monotonically growing. Entries is not a counter;
+// the current retention level is reported unchanged.
+func (s Stats) Since(prev Stats) Stats {
+	return Stats{
+		Hits:    s.Hits - prev.Hits,
+		Misses:  s.Misses - prev.Misses,
+		Waits:   s.Waits - prev.Waits,
+		Entries: s.Entries,
+	}
+}
+
+// HitRate is hits over lookups, in [0,1]; 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // entry is one flight: done is closed exactly once, after val/err are
@@ -55,6 +78,7 @@ type Cache struct {
 	entries map[string]*entry
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	waits   atomic.Uint64
 }
 
 // New returns an empty cache.
@@ -69,12 +93,29 @@ func New() *Cache {
 // from cache. The cached value is shared by all callers and must be
 // treated as immutable.
 func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
+	v, _, _, err := c.DoObserved(key, compute)
+	return v, err
+}
+
+// DoObserved is Do, additionally reporting how the lookup was served:
+// hit is true when the value came from an existing entry (finished or in
+// flight), and waited is true for the in-flight case, where this caller
+// blocked on another caller's computation (the single-flight wait). The
+// observability layer uses the distinction to attribute cache behavior
+// per execution; Stats aggregates the same three outcomes process-wide.
+func (c *Cache) DoObserved(key string, compute func() (any, error)) (v any, hit, waited bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		c.hits.Add(1)
-		<-e.done
-		return e.val, e.err
+		select {
+		case <-e.done:
+		default:
+			waited = true
+			c.waits.Add(1)
+			<-e.done
+		}
+		return e.val, true, waited, e.err
 	}
 	e := &entry{done: make(chan struct{})}
 	c.entries[key] = e
@@ -94,7 +135,7 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
 	}()
 	e.val, e.err = compute()
 	finished = true
-	return e.val, e.err
+	return e.val, false, false, e.err
 }
 
 // Stats returns the current counters. Entries counts retained entries,
@@ -103,7 +144,7 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Waits: c.waits.Load(), Entries: n}
 }
 
 // Reset drops all entries and zeroes the counters. In-flight
@@ -114,6 +155,7 @@ func (c *Cache) Reset() {
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.waits.Store(0)
 }
 
 // override is the SetEnabled state: 0 defer to env, 1 force on, 2 force

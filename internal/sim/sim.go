@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"flm/internal/graph"
+	"flm/internal/obs"
 	"flm/internal/runcache"
 )
 
@@ -234,13 +235,19 @@ func ExecuteWith(sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 // cache is enabled, the execution is memoized: a repeat of the same
 // (graph, devices, inputs, rounds, opts) returns the previously recorded
 // Run without stepping any device, and concurrent repeats share a single
-// in-flight execution. Two consequences follow. First, the system must
+// in-flight execution. When a tracer is installed (internal/obs), each
+// execution is additionally wrapped in a "sim.execute" span recording
+// the system shape, how the cache served it, and the run's traffic
+// totals — see trace.go. Two consequences follow. First, the system must
 // be freshly built — NewSystem-fresh devices that have never stepped —
 // since the key cannot see accumulated device state; every call site in
 // the engine already works this way (re-executing a stepped system was
 // never meaningful). Second, cancellable contexts bypass the cache, so
 // one caller's cancellation can never be replayed to another.
 func ExecuteCtx(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
+	if obs.Enabled() {
+		return executeCtxTraced(ctx, sys, rounds, opts)
+	}
 	if ctx.Done() == nil && runcache.Enabled() {
 		if key, ok := systemKey(sys, rounds, opts); ok {
 			v, err := runCache.Do(key, func() (any, error) {

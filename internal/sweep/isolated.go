@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"flm/internal/obs"
 )
 
 // TrialFault is the structured failure of one isolated trial: a recovered
@@ -93,6 +95,14 @@ func Isolated[T any](ctx context.Context, n int, o Opts, fn func(i int) (T, erro
 	if workers > n {
 		workers = n
 	}
+	traced := obs.Enabled()
+	var sweepSpan *obs.Span
+	if traced {
+		ctx, sweepSpan = obs.StartSpan(ctx, "sweep.isolated",
+			obs.Int("trials", n), obs.Int("workers", workers),
+			obs.Int64("timeout_us", int64(o.Timeout/time.Microsecond)))
+		mSweeps.Inc()
+	}
 	type claim struct{ i int }
 	work := make(chan claim)
 	done := make(chan struct{})
@@ -116,16 +126,43 @@ func Isolated[T any](ctx context.Context, n int, o Opts, fn func(i int) (T, erro
 		}
 	}()
 	for w := 0; w < workers; w++ {
-		go func() {
-			for c := range work {
-				results[c.i], errs[c.i] = runIsolated(ctx, c.i, o.Timeout, fn)
+		go func(w int) {
+			var wo *workerObs
+			var ws *obs.Span
+			var started time.Time
+			if traced {
+				_, ws = obs.StartSpan(ctx, "sweep.worker", obs.Int("worker", w))
+				started = time.Now()
+				wo = &workerObs{}
+			}
+			doLabeled(ctx, w, func() {
+				for c := range work {
+					var t0 time.Time
+					if wo != nil {
+						t0 = time.Now()
+					}
+					results[c.i], errs[c.i] = runIsolated(ctx, c.i, o.Timeout, fn)
+					if wo != nil {
+						wo.record(time.Since(t0))
+						if errs[c.i] != nil {
+							wo.fault()
+						}
+					}
+				}
+			})
+			if wo != nil {
+				wo.finish(ws, started)
 			}
 			done <- struct{}{}
-		}()
+		}(w)
 	}
 	for w := 0; w < workers; w++ {
 		<-done
 	}
+	if sweepSpan != nil {
+		sweepSpan.SetAttrs(obs.Int("faults", FaultCount(errs)))
+	}
+	sweepSpan.End()
 	return results, errs
 }
 

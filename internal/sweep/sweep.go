@@ -25,6 +25,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"flm/internal/obs"
 )
 
 // WorkersEnv is the environment variable that overrides the worker count
@@ -103,14 +106,41 @@ func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, 
 	if workers > n {
 		workers = n
 	}
+	traced := obs.Enabled()
+	if traced {
+		var sweepSpan *obs.Span
+		ctx, sweepSpan = obs.StartSpan(ctx, "sweep.map",
+			obs.Int("trials", n), obs.Int("workers", workers))
+		mSweeps.Inc()
+		defer sweepSpan.End()
+	}
 	if workers <= 1 {
-		// Sequential fast path: no goroutines, identical semantics.
+		// Sequential fast path: no goroutines, identical semantics. Under
+		// tracing the loop is booked as worker 0 so `flm stats` sees one
+		// fully-busy worker rather than no sweep at all.
+		var wo *workerObs
+		if traced {
+			_, ws := obs.StartSpan(ctx, "sweep.worker", obs.Int("worker", 0))
+			started := time.Now()
+			wo = &workerObs{}
+			defer func() { wo.finish(ws, started) }()
+		}
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return results, fmt.Errorf("sweep: cancelled before trial %d: %w", i, err)
 			}
+			var t0 time.Time
+			if wo != nil {
+				t0 = time.Now()
+			}
 			v, err := fn(i)
+			if wo != nil {
+				wo.record(time.Since(t0))
+			}
 			if err != nil {
+				if wo != nil {
+					wo.fault()
+				}
 				return results, err
 			}
 			results[i] = v
@@ -126,28 +156,51 @@ func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, 
 		firstIdx = n
 		wg       sync.WaitGroup
 	)
+	// loop is one worker's claim-and-run cycle; wo is nil on the untraced
+	// path, so the only instrumentation cost there is a dead nil check.
+	loop := func(wo *workerObs) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() || ctx.Err() != nil {
+				return
+			}
+			var t0 time.Time
+			if wo != nil {
+				t0 = time.Now()
+			}
+			v, err := fn(i)
+			if wo != nil {
+				wo.record(time.Since(t0))
+			}
+			if err != nil {
+				if wo != nil {
+					wo.fault()
+				}
+				failed.Store(true)
+				mu.Lock()
+				if i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				return
+			}
+			results[i] = v
+		}
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() || ctx.Err() != nil {
-					return
-				}
-				v, err := fn(i)
-				if err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					return
-				}
-				results[i] = v
+			if !traced {
+				loop(nil)
+				return
 			}
-		}()
+			_, ws := obs.StartSpan(ctx, "sweep.worker", obs.Int("worker", w))
+			started := time.Now()
+			var wo workerObs
+			doLabeled(ctx, w, func() { loop(&wo) })
+			wo.finish(ws, started)
+		}(w)
 	}
 	wg.Wait()
 	if firstErr == nil {

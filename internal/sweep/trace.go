@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
+	"flm/internal/obs"
+)
+
+// Observability for the sweep pool. Both engines (Map and Isolated)
+// branch on obs.Enabled() once per sweep; the untraced paths run the
+// exact pre-instrumentation code. Per-worker spans record task counts,
+// busy time, and (for Isolated) fault counts; per-trial durations feed
+// a shared histogram, and utilization falls out of busy time over span
+// wall time in `flm stats`.
+var (
+	mSweeps      = obs.NewCounter("sweep.sweeps")
+	mSweepTrials = obs.NewCounter("sweep.trials")
+	mTrialFaults = obs.NewCounter("sweep.trial.faults")
+	hTrialDur    = obs.NewHistogram("sweep.trial.dur_us")
+)
+
+// workerObs accumulates one worker's contribution to a traced sweep.
+// Methods are called by the owning worker goroutine only.
+type workerObs struct {
+	trials int
+	faults int
+	busy   time.Duration
+}
+
+// record books one finished trial.
+func (wo *workerObs) record(d time.Duration) {
+	wo.trials++
+	wo.busy += d
+	mSweepTrials.Inc()
+	hTrialDur.Observe(uint64(d / time.Microsecond))
+}
+
+// fault books one failed trial.
+func (wo *workerObs) fault() {
+	wo.faults++
+	mTrialFaults.Inc()
+}
+
+// finish closes the worker's span with its aggregate attributes. The
+// idle time (span wall time minus busy time) is the worker's queue wait:
+// time spent blocked on claiming work rather than running trials.
+func (wo *workerObs) finish(span *obs.Span, started time.Time) {
+	idle := time.Since(started) - wo.busy
+	if idle < 0 {
+		idle = 0
+	}
+	span.SetAttrs(
+		obs.Int("trials", wo.trials),
+		obs.Int("faults", wo.faults),
+		obs.Int64("busy_us", int64(wo.busy/time.Microsecond)),
+		obs.Int64("idle_us", int64(idle/time.Microsecond)))
+	span.End()
+}
+
+// ctxHasLabels reports whether ctx carries any pprof labels.
+func ctxHasLabels(ctx context.Context) bool {
+	has := false
+	pprof.ForLabels(ctx, func(string, string) bool {
+		has = true
+		return false
+	})
+	return has
+}
+
+// doLabeled runs f under the context's pprof label set extended with
+// this worker's index, so CPU profile samples of a labeled sweep (e.g.
+// `flm bench -cpuprofile` tagging each experiment, or `flm chaos`
+// tagging the harness) attribute to both the experiment and the worker.
+// With an unlabeled context it runs f directly — pprof.Do would replace
+// the goroutine's inherited labels (the per-experiment tag a worker
+// picks up from its spawner) with an empty set, which is exactly the
+// attribution we must not lose.
+func doLabeled(ctx context.Context, w int, f func()) {
+	if !ctxHasLabels(ctx) {
+		f()
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("sweep_worker", strconv.Itoa(w)), func(context.Context) { f() })
+}
