@@ -7,6 +7,10 @@
 # bench        refresh the BENCH_<date>.json perf snapshot
 # bench-smoke  quick bench (1 run/entry) diffed against the committed
 #              baseline, report-only — the CI perf canary
+# bench-gate   hard allocs/B gate on the two hot-path micros
+#              (micro:timedsim-tick, micro:eig-resolve); allocation
+#              counts carry only a few percent of GC jitter, so unlike
+#              ns/op they gate reliably even on shared runners
 # chaos        the CI smoke run: randomized adversaries, pinned seed
 # trace-smoke  run E1 under -trace, fold the JSONL with flm stats, and
 #              fail if the summary comes out empty — the end-to-end
@@ -16,10 +20,12 @@ GO ?= go
 RACE_WORKERS ?= 4
 CHAOS_SEED ?= 1
 CHAOS_TRIALS ?= 64
-BENCH_BASELINE ?= BENCH_2026-08-06-runcache.json
+BENCH_BASELINE ?= BENCH_2026-08-07.json
+BENCH_GATE_ENTRIES ?= micro:timedsim-tick,micro:eig-resolve
+BENCH_GATE_THRESHOLD ?= 10
 TRACE_FILE ?= /tmp/flm-trace-smoke.jsonl
 
-.PHONY: verify verify-race bench bench-smoke chaos trace-smoke
+.PHONY: verify verify-race bench bench-smoke bench-gate chaos trace-smoke
 
 verify:
 	$(GO) build ./...
@@ -34,6 +40,9 @@ bench:
 
 bench-smoke:
 	$(GO) run ./cmd/flm bench -runs 1 -o /tmp/flm-bench-smoke.json -compare $(BENCH_BASELINE)
+
+bench-gate:
+	$(GO) run ./cmd/flm bench -runs 1 -entries $(BENCH_GATE_ENTRIES) -o /tmp/flm-bench-gate.json -compare $(BENCH_BASELINE) -threshold $(BENCH_GATE_THRESHOLD)
 
 chaos:
 	$(GO) run ./cmd/flm chaos -seed $(CHAOS_SEED) -trials $(CHAOS_TRIALS)

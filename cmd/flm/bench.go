@@ -6,10 +6,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/big"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"flm"
@@ -81,6 +83,7 @@ func cmdBench(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	outPath := fs.String("o", "", "output JSON path (default BENCH_<date>.json)")
 	runs := fs.Int("runs", 3, "cold runs per workload; the fastest is reported")
+	entries := fs.String("entries", "", "comma-separated entry IDs to run (default all); the report and any -compare gate then cover only these")
 	workers := fs.Int("workers", 0, "sweep worker count (0 = FLM_WORKERS env or GOMAXPROCS)")
 	compare := fs.String("compare", "", "baseline BENCH json to diff the fresh numbers against")
 	threshold := fs.Float64("threshold", 0, "regression gate: exit nonzero if any shared entry's allocs/op or B/op worsens by more than this percent; ns/op is flagged but not gated (0 = report-only)")
@@ -97,6 +100,18 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 	prev := sweep.SetWorkers(*workers)
 	defer sweep.SetWorkers(prev)
+
+	// -entries filter: run only the named workloads (e.g. the CI perf
+	// gate benches just the micros it can time deterministically).
+	wanted := map[string]bool{}
+	if *entries != "" {
+		for _, id := range strings.Split(*entries, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				wanted[id] = true
+			}
+		}
+	}
+	selected := func(id string) bool { return len(wanted) == 0 || wanted[id] }
 
 	stopTrace, err := startTrace(traceTarget(*tracePath), out)
 	if err != nil {
@@ -154,6 +169,9 @@ func cmdBench(args []string, out io.Writer) int {
 
 	for _, e := range flm.Experiments() {
 		exp := e
+		if !selected(exp.ID) {
+			continue
+		}
 		entry, err := measure(exp.ID, exp.Name, *runs, labeled(exp.ID, func() error {
 			_, err := exp.Run()
 			return err
@@ -168,6 +186,9 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 
 	for _, m := range microBenches() {
+		if !selected(m.id) {
+			continue
+		}
 		entry, err := measure(m.id, m.name, *runs, labeled(m.id, m.fn))
 		if err != nil {
 			fmt.Fprintf(out, "bench: %v\n", err)
@@ -353,6 +374,55 @@ func microBenches() []microBench {
 	// in a -compare run is the standing zero-overhead check on the obs
 	// layer (the in-repo BenchmarkObsDisabled pins the allocs to zero).
 	obsOff := eigTrial(flm.ExecuteOpts{})
+	// micro:timedsim-tick isolates the timed simulator's tick loop: one
+	// Theorem 8 ring of chase devices, dominated by per-tick rational
+	// scheduling and message delivery (the arena + incremental-schedule
+	// hot path). micro:eig-resolve isolates the EIG tree: K9, f=2 honest
+	// trials over 16 distinct input patterns, dominated by flat-tree
+	// claim absorption and bottom-up resolution.
+	timedTick := func() error {
+		params := flm.SyncParams{
+			P:      flm.RatIdentity(),
+			Q:      flm.NewRatClock(3, 2, 0, 1),
+			L:      flm.LinearClock{Rate: 1, Off: 0},
+			U:      flm.LinearClock{Rate: 1, Off: 4},
+			Alpha:  1.5,
+			TPrime: big.NewRat(4, 1),
+			Delta:  big.NewRat(1, 2),
+		}
+		builders := map[string]flm.SyncBuilder{
+			"a": flm.NewChaseClock(params.L),
+			"b": flm.NewChaseClock(params.L),
+			"c": flm.NewChaseClock(params.L),
+		}
+		r, err := flm.ProveClockSync(params, builders)
+		if err != nil {
+			return err
+		}
+		if !r.Contradicted() {
+			return fmt.Errorf("timedsim tick bench: expected a Theorem 8 violation")
+		}
+		return nil
+	}
+	eigResolve := func() error {
+		g := flm.Complete(9)
+		honest := flm.NewEIG(2, g.Names())
+		for bits := 0; bits < 16; bits++ {
+			inputs := map[string]flm.Input{}
+			for i, name := range g.Names() {
+				inputs[name] = flm.BoolInput(bits&(1<<uint(i%4)) != 0)
+			}
+			trial := flm.ByzantineTrial{G: g, Inputs: inputs, Honest: honest, Rounds: flm.EIGRounds(2)}
+			_, _, rep, err := trial.RunWith(flm.ExecuteOpts{})
+			if err != nil {
+				return err
+			}
+			if !rep.OK() {
+				return fmt.Errorf("eig resolve bench: trial failed: %v", rep.Err())
+			}
+		}
+		return nil
+	}
 	return []microBench{
 		{"micro:eig-n10-f3-full", "EIG trial, full recording", eigTrial(flm.FullRecording)},
 		{"micro:eig-n10-f3-fast", "EIG trial, decision-only fast mode", eigTrial(flm.ExecuteOpts{})},
@@ -363,5 +433,7 @@ func microBenches() []microBench {
 			defer restore()
 			return obsOff()
 		}},
+		{"micro:timedsim-tick", "Theorem 8 ring of chase devices (timed tick loop)", timedTick},
+		{"micro:eig-resolve", "EIG K9 f=2, 16 input patterns (flat-tree resolve)", eigResolve},
 	}
 }

@@ -19,51 +19,97 @@ import (
 // value works for the agreement proofs.
 const DefaultValue = "0"
 
-// eigDevice runs exponential information gathering. The device builds the
-// EIG tree over f+1 relay levels: level-r labels are sequences of r
-// distinct process names "j1/j2/.../jr", and val(σ·j) is what j reported
-// for label σ. After the final level it resolves the tree bottom-up by
-// strict majority and decides the root value.
-type eigDevice struct {
+// NewEIG returns a builder for EIG devices tolerating f faults among the
+// given peer set (which must include every node of the complete
+// communication graph, including the device's own node).
+//
+// The builder hoists everything fixed across a sweep: the sorted peer
+// set, the device fingerprint, and the flat tree shape (level offsets,
+// interned label strings, per-slot membership masks), all shared by every
+// device it constructs. Peer sets the flat representation cannot index
+// (see eigShapeFor) fall back to the map-based reference device, which is
+// observably identical.
+func NewEIG(f int, peers []string) sim.Builder {
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	fp := fmt.Sprintf("byz/eig:f=%d,peers=%s", f, strings.Join(sorted, ","))
+	shape := eigShapeFor(f, sorted, fp)
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		nbs := sortedNames(neighbors)
+		if shape != nil {
+			if idx, ok := shape.index[self]; ok {
+				d := &eigFlatDevice{shape: shape, selfIdx: idx}
+				d.init(self, nbs, input)
+				return d
+			}
+		}
+		d := &eigMapDevice{f: f, peers: sorted, fp: fp}
+		d.init(self, nbs, input)
+		return d
+	}
+}
+
+// sortedNames returns a sorted copy of names without re-sorting input
+// that is already ordered — the simulator always hands builders sorted
+// neighbor lists, so device construction inside a sweep skips the
+// redundant sort.
+func sortedNames(names []string) []string {
+	out := append([]string(nil), names...)
+	if !sort.StringsAreSorted(out) {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// eigMapDevice is the reference EIG implementation with the tree stored
+// as a map keyed by "j1/j2/.../jr" labels. The device builds the EIG tree
+// over f+1 relay levels: level-r labels are sequences of r distinct
+// process names, and val(σ·j) is what j reported for label σ. After the
+// final level it resolves the tree bottom-up by strict majority and
+// decides the root value.
+//
+// The hot path uses eigFlatDevice, which stores the same tree in a
+// contiguous slice; this device remains as the fallback for peer sets the
+// flat shape cannot index and as the oracle for the equivalence property
+// test. The two must stay observably identical (Snapshot, Output,
+// payloads, DeviceFingerprint).
+type eigMapDevice struct {
 	self      string
 	peers     []string // all process names, sorted (the complete graph)
 	neighbors []string
 	f         int
+	fp        string
 	input     string
 	val       map[string]string
 	decided   bool
 	decision  string
 }
 
-var _ sim.Device = (*eigDevice)(nil)
-var _ sim.Fingerprinter = (*eigDevice)(nil)
+var _ sim.Device = (*eigMapDevice)(nil)
+var _ sim.Fingerprinter = (*eigMapDevice)(nil)
 
 // DeviceFingerprint is the constructor identity: fault bound and peer
 // set. Everything else the device does is determined by these plus the
 // (self, neighbors, input) triple the execution cache keys separately.
-func (d *eigDevice) DeviceFingerprint() string {
-	return fmt.Sprintf("byz/eig:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
-}
-
-// NewEIG returns a builder for EIG devices tolerating f faults among the
-// given peer set (which must include every node of the complete
-// communication graph, including the device's own node).
-func NewEIG(f int, peers []string) sim.Builder {
-	sorted := append([]string(nil), peers...)
-	sort.Strings(sorted)
-	return func(self string, neighbors []string, input sim.Input) sim.Device {
-		d := &eigDevice{f: f, peers: sorted}
-		d.Init(self, neighbors, input)
-		return d
+func (d *eigMapDevice) DeviceFingerprint() string {
+	if d.fp == "" {
+		d.fp = fmt.Sprintf("byz/eig:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
 	}
+	return d.fp
 }
 
-func (d *eigDevice) Init(self string, neighbors []string, input sim.Input) {
+func (d *eigMapDevice) Init(self string, neighbors []string, input sim.Input) {
+	d.init(self, sortedNames(neighbors), input)
+}
+
+// init takes ownership of the sorted neighbors slice.
+func (d *eigMapDevice) init(self string, neighbors []string, input sim.Input) {
 	d.self = self
-	d.neighbors = append([]string(nil), neighbors...)
-	sort.Strings(d.neighbors)
+	d.neighbors = neighbors
 	d.input = sanitizeValue(string(input))
 	d.val = map[string]string{}
+	d.decided = false
+	d.decision = ""
 }
 
 // sanitizeValue keeps values within the claim-encoding alphabet; anything
@@ -78,7 +124,7 @@ func sanitizeValue(v string) string {
 
 // claimsAtLevel returns this device's level-r claims: (σ, val(σ)) for
 // every stored label σ with |σ| = r not containing self.
-func (d *eigDevice) claimsAtLevel(r int) []string {
+func (d *eigMapDevice) claimsAtLevel(r int) []string {
 	var claims []string
 	for label, v := range d.val {
 		if labelLen(label) != r || labelContains(label, d.self) {
@@ -119,7 +165,7 @@ func extendLabel(label, name string) string {
 // absorb records the claims carried by a round-(level) payload from the
 // named sender, storing val(σ·sender) = v for each well-formed claim
 // (σ, v) with |σ| = level-1, sender ∉ σ, and all names known.
-func (d *eigDevice) absorb(sender string, payload sim.Payload, level int) {
+func (d *eigMapDevice) absorb(sender string, payload sim.Payload, level int) {
 	if payload == sim.None {
 		return
 	}
@@ -143,7 +189,7 @@ func (d *eigDevice) absorb(sender string, payload sim.Payload, level int) {
 	}
 }
 
-func (d *eigDevice) validLabel(label string) bool {
+func (d *eigMapDevice) validLabel(label string) bool {
 	seen := map[string]bool{}
 	for _, part := range strings.Split(label, "/") {
 		if seen[part] || !d.isPeer(part) {
@@ -154,7 +200,7 @@ func (d *eigDevice) validLabel(label string) bool {
 	return true
 }
 
-func (d *eigDevice) isPeer(name string) bool {
+func (d *eigMapDevice) isPeer(name string) bool {
 	i := sort.SearchStrings(d.peers, name)
 	return i < len(d.peers) && d.peers[i] == name
 }
@@ -162,7 +208,7 @@ func (d *eigDevice) isPeer(name string) bool {
 // Step implements the EIG schedule: Step(0) broadcasts the input (level-1
 // claims); Step(r) for 1 <= r <= f absorbs level-r claims and relays
 // level-(r+1) claims; Step(f+1) absorbs the final level and decides.
-func (d *eigDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
+func (d *eigMapDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
 	if round > d.f+1 || d.decided {
 		if round == d.f+1 && !d.decided {
 			d.finishAbsorb(round, inbox)
@@ -194,7 +240,7 @@ func (d *eigDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
 	return d.broadcast(sim.Payload(strings.Join(claims, ";")))
 }
 
-func (d *eigDevice) finishAbsorb(round int, inbox sim.Inbox) {
+func (d *eigMapDevice) finishAbsorb(round int, inbox sim.Inbox) {
 	senders := make([]string, 0, len(inbox))
 	for s := range inbox {
 		senders = append(senders, s)
@@ -209,7 +255,7 @@ func (d *eigDevice) finishAbsorb(round int, inbox sim.Inbox) {
 	}
 }
 
-func (d *eigDevice) broadcast(p sim.Payload) sim.Outbox {
+func (d *eigMapDevice) broadcast(p sim.Payload) sim.Outbox {
 	out := sim.Outbox{}
 	for _, nb := range d.neighbors {
 		out[nb] = p
@@ -221,7 +267,7 @@ func (d *eigDevice) broadcast(p sim.Payload) sim.Outbox {
 // (level f+1) resolve to their stored value; internal labels resolve to
 // the strict majority of their children, with DefaultValue on ties or
 // missing data.
-func (d *eigDevice) resolve(label string) string {
+func (d *eigMapDevice) resolve(label string) string {
 	if labelLen(label) == d.f+1 {
 		if v, ok := d.val[label]; ok {
 			return v
@@ -255,7 +301,7 @@ func (d *eigDevice) resolve(label string) string {
 }
 
 // Snapshot canonically encodes the whole EIG tree plus decision status.
-func (d *eigDevice) Snapshot() string {
+func (d *eigMapDevice) Snapshot() string {
 	labels := make([]string, 0, len(d.val))
 	for l := range d.val {
 		labels = append(labels, l)
@@ -272,7 +318,7 @@ func (d *eigDevice) Snapshot() string {
 	return b.String()
 }
 
-func (d *eigDevice) Output() (sim.Decision, bool) {
+func (d *eigMapDevice) Output() (sim.Decision, bool) {
 	if !d.decided {
 		return sim.Decision{}, false
 	}

@@ -18,6 +18,7 @@ type phaseKingDevice struct {
 	peers    []string
 	nbs      []string
 	f        int
+	fp       string
 	pref     string
 	mult     int
 	decided  bool
@@ -28,29 +29,42 @@ var _ sim.Device = (*phaseKingDevice)(nil)
 var _ sim.Fingerprinter = (*phaseKingDevice)(nil)
 
 // DeviceFingerprint is the constructor identity: fault bound and peer
-// set (see eigDevice.DeviceFingerprint).
+// set (see eigMapDevice.DeviceFingerprint).
 func (d *phaseKingDevice) DeviceFingerprint() string {
-	return fmt.Sprintf("byz/phaseking:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+	if d.fp == "" {
+		d.fp = fmt.Sprintf("byz/phaseking:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+	}
+	return d.fp
 }
 
 // NewPhaseKing returns a builder for phase-king devices tolerating f
 // faults among the given peers (n >= 4f+1 required for correctness).
 // Inputs must be canonical booleans; anything else becomes DefaultValue.
+// The sorted peer set and fingerprint are computed once and shared by
+// every device the builder constructs.
 func NewPhaseKing(f int, peers []string) sim.Builder {
 	sorted := append([]string(nil), peers...)
 	sort.Strings(sorted)
+	fp := fmt.Sprintf("byz/phaseking:f=%d,peers=%s", f, strings.Join(sorted, ","))
 	return func(self string, neighbors []string, input sim.Input) sim.Device {
-		d := &phaseKingDevice{f: f, peers: sorted}
-		d.Init(self, neighbors, input)
+		d := &phaseKingDevice{f: f, peers: sorted, fp: fp}
+		d.init(self, sortedNames(neighbors), input)
 		return d
 	}
 }
 
 func (d *phaseKingDevice) Init(self string, neighbors []string, input sim.Input) {
+	d.init(self, sortedNames(neighbors), input)
+}
+
+// init takes ownership of the sorted neighbors slice.
+func (d *phaseKingDevice) init(self string, neighbors []string, input sim.Input) {
 	d.self = self
-	d.nbs = append([]string(nil), neighbors...)
-	sort.Strings(d.nbs)
+	d.nbs = neighbors
 	d.pref = boolOrDefault(string(input))
+	d.mult = 0
+	d.decided = false
+	d.decision = ""
 }
 
 func boolOrDefault(v string) string {
@@ -95,18 +109,27 @@ func (d *phaseKingDevice) Step(round int, inbox sim.Inbox) sim.Outbox {
 }
 
 // tally counts the received preferences (plus our own) and adopts the
-// plurality value, ties favoring DefaultValue.
+// plurality value, ties favoring DefaultValue. Preferences are canonical
+// booleans, so two counters replace the map.
 func (d *phaseKingDevice) tally(inbox sim.Inbox) {
-	count := map[string]int{d.pref: 1}
+	zero, one := 0, 0
+	if d.pref == "1" {
+		one = 1
+	} else {
+		zero = 1
+	}
 	for _, p := range d.peers {
 		if p == d.self {
 			continue
 		}
 		if payload, ok := inbox[p]; ok {
-			count[boolOrDefault(string(payload))]++
+			if boolOrDefault(string(payload)) == "1" {
+				one++
+			} else {
+				zero++
+			}
 		}
 	}
-	zero, one := count["0"], count["1"]
 	if one > zero {
 		d.pref, d.mult = "1", one
 	} else {

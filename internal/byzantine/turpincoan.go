@@ -30,6 +30,8 @@ type turpinCoan struct {
 	peers     []string
 	neighbors []string
 	f         int
+	fp        string
+	innerB    sim.Builder // hoisted inner-EIG builder, shared across devices
 	input     string
 	y         string // round-1 relay value, "" encodes ⊥
 	alt       string
@@ -37,15 +39,20 @@ type turpinCoan struct {
 	inner     sim.Device
 	decided   bool
 	decision  string
+	tvals     []string // tally scratch: distinct values and their counts
+	tcnts     []int
 }
 
 var _ sim.Device = (*turpinCoan)(nil)
 var _ sim.Fingerprinter = (*turpinCoan)(nil)
 
 // DeviceFingerprint is the constructor identity: fault bound and peer
-// set (see eigDevice.DeviceFingerprint).
+// set (see eigMapDevice.DeviceFingerprint).
 func (d *turpinCoan) DeviceFingerprint() string {
-	return fmt.Sprintf("byz/turpincoan:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+	if d.fp == "" {
+		d.fp = fmt.Sprintf("byz/turpincoan:f=%d,peers=%s", d.f, strings.Join(d.peers, ","))
+	}
+	return d.fp
 }
 
 // tcBot is the on-wire encoding of ⊥.
@@ -53,13 +60,18 @@ const tcBot = "-"
 
 // NewTurpinCoan returns a builder for multivalued agreement devices over
 // arbitrary string values (n >= 3f+1). Values containing protocol
-// delimiters are treated as the default.
+// delimiters are treated as the default. The inner binary-EIG builder is
+// constructed once here — not per device per trial — so every device the
+// builder makes shares the sorted peer set, fingerprints, and the flat
+// EIG tree shape.
 func NewTurpinCoan(f int, peers []string) sim.Builder {
 	sorted := append([]string(nil), peers...)
 	sort.Strings(sorted)
+	fp := fmt.Sprintf("byz/turpincoan:f=%d,peers=%s", f, strings.Join(sorted, ","))
+	innerB := NewEIG(f, sorted)
 	return func(self string, neighbors []string, input sim.Input) sim.Device {
-		d := &turpinCoan{f: f, peers: sorted}
-		d.Init(self, neighbors, input)
+		d := &turpinCoan{f: f, peers: sorted, fp: fp, innerB: innerB}
+		d.init(self, sortedNames(neighbors), input)
 		return d
 	}
 }
@@ -69,10 +81,19 @@ func NewTurpinCoan(f int, peers []string) sim.Builder {
 func TurpinCoanRounds(f int) int { return 2 + EIGRounds(f) }
 
 func (d *turpinCoan) Init(self string, neighbors []string, input sim.Input) {
+	d.init(self, sortedNames(neighbors), input)
+}
+
+// init takes ownership of the sorted neighbors slice.
+func (d *turpinCoan) init(self string, neighbors []string, input sim.Input) {
 	d.self = self
-	d.neighbors = append([]string(nil), neighbors...)
-	sort.Strings(d.neighbors)
+	d.neighbors = neighbors
 	d.input = sanitizeMV(string(input))
+	d.y = ""
+	d.alt, d.altOK = "", false
+	d.inner = nil
+	d.decided = false
+	d.decision = ""
 }
 
 // sanitizeMV keeps multivalued inputs inside the payload alphabet.
@@ -88,29 +109,40 @@ func (d *turpinCoan) Step(round int, inbox sim.Inbox) sim.Outbox {
 	case round == 0:
 		return d.broadcast(sim.Payload(d.input))
 	case round == 1:
-		counts := d.tallyPeers(inbox, d.input)
+		d.tallyPeers(inbox, d.input)
+		// Adopt the largest value with an n-f quorum (the reference scan
+		// over sorted keys kept overwriting, so the last — maximal —
+		// qualifier won), else ⊥.
 		d.y = tcBot
-		for _, v := range sortedKeys(counts) {
-			if counts[v] >= len(d.peers)-d.f {
-				d.y = v
+		found := false
+		for i, v := range d.tvals {
+			if d.tcnts[i] >= len(d.peers)-d.f && (!found || v > d.y) {
+				d.y, found = v, true
 			}
 		}
 		return d.broadcast(sim.Payload(d.y))
 	case round == 2:
-		counts := d.tallyPeers(inbox, d.y)
-		delete(counts, tcBot)
+		d.tallyPeers(inbox, d.y)
 		vote := false
-		for _, v := range sortedKeys(counts) {
-			if counts[v] >= len(d.peers)-d.f {
+		for i, v := range d.tvals {
+			if v == tcBot {
+				continue
+			}
+			if d.tcnts[i] >= len(d.peers)-d.f {
 				vote = true
 			}
-			if counts[v] >= d.f+1 {
+			if d.tcnts[i] >= d.f+1 && (!d.altOK || v > d.alt) {
 				// Unique when it exists: a value with f+1 witnesses has a
 				// correct witness, and correct non-⊥ y values coincide.
+				// Maximal qualifier for the same reason as round 1.
 				d.alt, d.altOK = v, true
 			}
 		}
-		d.inner = NewEIG(d.f, d.peers)(d.self, d.neighbors, sim.BoolInput(vote))
+		innerB := d.innerB
+		if innerB == nil {
+			innerB = NewEIG(d.f, d.peers)
+		}
+		d.inner = innerB(d.self, d.neighbors, sim.BoolInput(vote))
 		return d.inner.Step(0, sim.Inbox{})
 	default:
 		out := d.inner.Step(round-2, inbox)
@@ -127,9 +159,12 @@ func (d *turpinCoan) Step(round int, inbox sim.Inbox) sim.Outbox {
 }
 
 // tallyPeers counts the values received from every peer this round
-// (self-delivery via own), treating silence as ⊥.
-func (d *turpinCoan) tallyPeers(inbox sim.Inbox, own string) map[string]int {
-	counts := map[string]int{own: 1}
+// (self-delivery via own), treating silence as ⊥. Distinct values land in
+// the reused tvals/tcnts scratch (at most n+1 of them, so the linear scan
+// beats a map).
+func (d *turpinCoan) tallyPeers(inbox sim.Inbox, own string) {
+	d.tvals, d.tcnts = d.tvals[:0], d.tcnts[:0]
+	d.tallyAdd(own)
 	for _, p := range d.peers {
 		if p == d.self {
 			continue
@@ -144,18 +179,18 @@ func (d *turpinCoan) tallyPeers(inbox sim.Inbox, own string) map[string]int {
 			}
 			// Garbled payloads count as ⊥.
 		}
-		counts[v]++
+		d.tallyAdd(v)
 	}
-	return counts
 }
 
-func sortedKeys(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+func (d *turpinCoan) tallyAdd(v string) {
+	for i := range d.tvals {
+		if d.tvals[i] == v {
+			d.tcnts[i]++
+			return
+		}
 	}
-	sort.Strings(keys)
-	return keys
+	d.tvals, d.tcnts = append(d.tvals, v), append(d.tcnts, 1)
 }
 
 func (d *turpinCoan) broadcast(p sim.Payload) sim.Outbox {

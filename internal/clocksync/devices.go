@@ -19,6 +19,22 @@ import (
 // Builder constructs a fresh synchronization device for a named node.
 type Builder func(self string, neighbors []string) timedsim.Device
 
+// ratTwo is the shared division constant for the averaging devices. It is
+// never mutated: big.Rat.Quo only reads its operand's storage, so sharing
+// it across concurrently ticking devices is safe.
+var ratTwo = big.NewRat(2, 1)
+
+// sortedNeighbors copies and sorts a neighbor list, skipping the sort
+// when the caller already handed it over in order (the common case:
+// devices are re-Init'd with pre-sorted lists on every trial).
+func sortedNeighbors(neighbors []string) []string {
+	out := append([]string(nil), neighbors...)
+	if !sort.StringsAreSorted(out) {
+		sort.Strings(out)
+	}
+	return out
+}
+
 // trivialDevice runs its logical clock at the lower envelope of its
 // hardware clock: C(t) = l(D(t)). The paper proves this no-communication
 // strategy is optimal on inadequate graphs: it synchronizes to exactly
@@ -60,6 +76,10 @@ type chaseDevice struct {
 	nbs   []string
 	l     clockfn.Fn
 	ahead *big.Rat
+	tmp   big.Rat // per-message parse/lead scratch
+	eff   big.Rat // corrected-reading scratch
+	scr   clockfn.RatScratch
+	out   []timedsim.Send // reused outbox (consumed before the next Tick)
 }
 
 var _ timedsim.Device = (*chaseDevice)(nil)
@@ -75,36 +95,37 @@ func NewChaseMax(l clockfn.Fn) Builder {
 
 func (d *chaseDevice) Init(self string, neighbors []string) {
 	d.self = self
-	d.nbs = append([]string(nil), neighbors...)
-	sort.Strings(d.nbs)
+	d.nbs = sortedNeighbors(neighbors)
 	d.ahead = new(big.Rat)
 }
 
 func (d *chaseDevice) Tick(k int, hw *big.Rat, inbox []timedsim.Message) []timedsim.Send {
 	for _, m := range inbox {
-		reported, ok := new(big.Rat).SetString(m.Payload)
+		reported, ok := d.tmp.SetString(m.Payload)
 		if !ok {
 			continue
 		}
 		// The neighbor's reading was taken at its send time, which is
 		// earlier than now; treating it as current only underestimates
 		// the lead, keeping the device conservative.
-		lead := new(big.Rat).Sub(reported, hw)
-		if lead.Cmp(d.ahead) > 0 {
+		lead := reported.Sub(reported, hw)
+		if d.scr.Cmp(lead, d.ahead) > 0 {
 			d.ahead.Set(lead)
 		}
 	}
-	out := make([]timedsim.Send, 0, len(d.nbs))
-	effective := new(big.Rat).Add(hw, d.ahead)
+	d.eff.Add(hw, d.ahead)
+	payload := d.eff.RatString() // one encoding shared by every neighbor
+	out := d.out[:0]
 	for _, nb := range d.nbs {
-		out = append(out, timedsim.Send{To: nb, Payload: effective.RatString()})
+		out = append(out, timedsim.Send{To: nb, Payload: payload})
 	}
+	d.out = out
 	return out
 }
 
 func (d *chaseDevice) Logical(hw *big.Rat) float64 {
-	eff := new(big.Rat).Add(hw, d.ahead)
-	f, _ := eff.Float64()
+	d.eff.Add(hw, d.ahead)
+	f, _ := d.eff.Float64()
 	return d.l.At(f)
 }
 
@@ -119,12 +140,18 @@ func (d *chaseDevice) Snapshot() string {
 // adequate graphs this beats the trivial l(q)-l(p) synchronization —
 // which Theorem 8 only forbids on inadequate ones.
 type trimmedDevice struct {
-	self string
-	nbs  []string
-	l    clockfn.Fn
-	f    int
-	corr *big.Rat
-	last map[string]*big.Rat
+	self     string
+	nbs      []string
+	l        clockfn.Fn
+	f        int
+	corr     *big.Rat
+	last     map[string]*big.Rat
+	tmp      big.Rat // per-message parse scratch
+	own      big.Rat // corrected-reading scratch
+	adj      big.Rat // correction-step scratch
+	scr      clockfn.RatScratch
+	readings []*big.Rat      // reused per-tick sort buffer
+	out      []timedsim.Send // reused outbox (consumed before the next Tick)
 }
 
 var _ timedsim.Device = (*trimmedDevice)(nil)
@@ -141,44 +168,56 @@ func NewTrimmedMidpoint(l clockfn.Fn, f int) Builder {
 
 func (d *trimmedDevice) Init(self string, neighbors []string) {
 	d.self = self
-	d.nbs = append([]string(nil), neighbors...)
-	sort.Strings(d.nbs)
+	d.nbs = sortedNeighbors(neighbors)
 	d.corr = new(big.Rat)
 	d.last = make(map[string]*big.Rat, len(d.nbs))
 }
 
 func (d *trimmedDevice) Tick(k int, hw *big.Rat, inbox []timedsim.Message) []timedsim.Send {
 	for _, m := range inbox {
-		if reported, ok := new(big.Rat).SetString(m.Payload); ok {
-			d.last[m.From] = reported
+		if reported, ok := d.tmp.SetString(m.Payload); ok {
+			if v, exists := d.last[m.From]; exists {
+				v.Set(reported)
+			} else {
+				d.last[m.From] = new(big.Rat).Set(reported)
+			}
 		}
 	}
-	var readings []*big.Rat
+	readings := d.readings[:0]
 	for _, nb := range d.nbs {
 		if v, ok := d.last[nb]; ok {
 			readings = append(readings, v)
 		}
 	}
+	d.readings = readings
 	if len(readings) > 2*d.f {
-		sort.Slice(readings, func(i, j int) bool { return readings[i].Cmp(readings[j]) < 0 })
+		// Stable insertion sort: neighbor fan-in is small and equal
+		// readings yield the same median value either way.
+		for i := 1; i < len(readings); i++ {
+			for j := i; j > 0 && d.scr.Cmp(readings[j], readings[j-1]) < 0; j-- {
+				readings[j], readings[j-1] = readings[j-1], readings[j]
+			}
+		}
 		trimmed := readings[d.f : len(readings)-d.f]
 		median := trimmed[len(trimmed)/2]
-		own := new(big.Rat).Add(hw, d.corr)
-		adj := new(big.Rat).Sub(median, own)
-		adj.Quo(adj, big.NewRat(2, 1))
+		own := d.own.Add(hw, d.corr)
+		adj := d.adj.Sub(median, own)
+		adj.Quo(adj, ratTwo)
 		d.corr.Add(d.corr, adj)
 	}
-	own := new(big.Rat).Add(hw, d.corr)
-	out := make([]timedsim.Send, 0, len(d.nbs))
+	d.own.Add(hw, d.corr)
+	payload := d.own.RatString()
+	out := d.out[:0]
 	for _, nb := range d.nbs {
-		out = append(out, timedsim.Send{To: nb, Payload: own.RatString()})
+		out = append(out, timedsim.Send{To: nb, Payload: payload})
 	}
+	d.out = out
 	return out
 }
 
 func (d *trimmedDevice) Logical(hw *big.Rat) float64 {
-	eff := new(big.Rat).Add(hw, d.corr)
-	f, _ := eff.Float64()
+	d.own.Add(hw, d.corr)
+	f, _ := d.own.Float64()
 	return d.l.At(f)
 }
 
@@ -204,6 +243,12 @@ type midpointDevice struct {
 	l    clockfn.Fn
 	corr *big.Rat
 	last map[string]*big.Rat
+	tmp  big.Rat // per-message parse scratch
+	own  big.Rat // corrected-reading scratch
+	mid  big.Rat // midpoint scratch
+	adj  big.Rat // correction-step scratch
+	scr  clockfn.RatScratch
+	out  []timedsim.Send // reused outbox (consumed before the next Tick)
 }
 
 var _ timedsim.Device = (*midpointDevice)(nil)
@@ -219,52 +264,57 @@ func NewMidpoint(l clockfn.Fn) Builder {
 
 func (d *midpointDevice) Init(self string, neighbors []string) {
 	d.self = self
-	d.nbs = append([]string(nil), neighbors...)
-	sort.Strings(d.nbs)
+	d.nbs = sortedNeighbors(neighbors)
 	d.corr = new(big.Rat)
 	d.last = make(map[string]*big.Rat, len(d.nbs))
 }
 
 func (d *midpointDevice) Tick(k int, hw *big.Rat, inbox []timedsim.Message) []timedsim.Send {
 	for _, m := range inbox {
-		if reported, ok := new(big.Rat).SetString(m.Payload); ok {
-			d.last[m.From] = reported
+		if reported, ok := d.tmp.SetString(m.Payload); ok {
+			if v, exists := d.last[m.From]; exists {
+				v.Set(reported)
+			} else {
+				d.last[m.From] = new(big.Rat).Set(reported)
+			}
 		}
 	}
 	if len(d.last) > 0 {
-		own := new(big.Rat).Add(hw, d.corr)
+		own := d.own.Add(hw, d.corr)
 		lo, hi := (*big.Rat)(nil), (*big.Rat)(nil)
 		for _, nb := range d.nbs {
 			v, ok := d.last[nb]
 			if !ok {
 				continue
 			}
-			if lo == nil || v.Cmp(lo) < 0 {
+			if lo == nil || d.scr.Cmp(v, lo) < 0 {
 				lo = v
 			}
-			if hi == nil || v.Cmp(hi) > 0 {
+			if hi == nil || d.scr.Cmp(v, hi) > 0 {
 				hi = v
 			}
 		}
 		if lo != nil {
-			mid := new(big.Rat).Add(lo, hi)
-			mid.Quo(mid, big.NewRat(2, 1))
-			adj := new(big.Rat).Sub(mid, own)
-			adj.Quo(adj, big.NewRat(2, 1))
+			mid := d.mid.Add(lo, hi)
+			mid.Quo(mid, ratTwo)
+			adj := d.adj.Sub(mid, own)
+			adj.Quo(adj, ratTwo)
 			d.corr.Add(d.corr, adj)
 		}
 	}
-	own := new(big.Rat).Add(hw, d.corr)
-	out := make([]timedsim.Send, 0, len(d.nbs))
+	d.own.Add(hw, d.corr)
+	payload := d.own.RatString()
+	out := d.out[:0]
 	for _, nb := range d.nbs {
-		out = append(out, timedsim.Send{To: nb, Payload: own.RatString()})
+		out = append(out, timedsim.Send{To: nb, Payload: payload})
 	}
+	d.out = out
 	return out
 }
 
 func (d *midpointDevice) Logical(hw *big.Rat) float64 {
-	eff := new(big.Rat).Add(hw, d.corr)
-	f, _ := eff.Float64()
+	d.own.Add(hw, d.corr)
+	f, _ := d.own.Float64()
 	return d.l.At(f)
 }
 

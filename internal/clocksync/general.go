@@ -34,8 +34,10 @@ import (
 // of G with scripted faulty sets (the generalized Lemma 9 self-check).
 
 // installScaledCover builds the timed system on an arbitrary cover with
-// hardware clock q∘h^(-position[s]) at each S-node s.
-func installScaledCover(cover *graph.Cover, params Params, builders map[string]Builder, h clockfn.RatLinear, position []int) (*timedsim.System, error) {
+// hardware clock q∘h^(-position[s]) at each S-node s. The inverse
+// iterates come from the precomputed table (iters[i] = h⁻ⁱ), so the
+// install is linear in the cover size rather than quadratic.
+func installScaledCover(cover *graph.Cover, params Params, builders map[string]Builder, iters []clockfn.RatLinear, position []int) (*timedsim.System, error) {
 	if err := cover.Verify(); err != nil {
 		return nil, err
 	}
@@ -64,7 +66,7 @@ func installScaledCover(cover *graph.Cover, params Params, builders map[string]B
 		inner.Init(gName, sortedStrings(gNeighbors))
 		nodes[i] = timedsim.Node{
 			Device: timedsim.Renamed(inner, toG, toS),
-			Clock:  params.Q.ComposeRat(h.IterateRat(-position[i])),
+			Clock:  params.Q.ComposeRat(iters[position[i]]),
 		}
 	}
 	return &timedsim.System{G: s, Nodes: nodes, Delta: params.Delta}, nil
@@ -83,12 +85,18 @@ type scaledScenario struct {
 // the scenario as a real G-system (correct devices with their scaled
 // clocks, every other node a scripted sender replaying the scaled border
 // traffic) and require tick-for-tick agreement with the covering run.
-func checkScaledScenario(cover *graph.Cover, params Params, builders map[string]Builder, h clockfn.RatLinear, position []int, runS *timedsim.Run, sc scaledScenario, tSecond *big.Rat) error {
+func checkScaledScenario(cover *graph.Cover, params Params, builders map[string]Builder, h clockfn.RatLinear, iters []clockfn.RatLinear, position []int, runS *timedsim.Run, sc scaledScenario, tSecond *big.Rat) error {
 	s, g := cover.S, cover.G
 	if err := cover.InducedIsomorphic(sc.u); err != nil {
 		return err
 	}
-	scaleFn := h.IterateRat(-sc.scale)
+	// Private copy of the shared iterate: scratch comparators decompose
+	// Rate/Off in place, and iters may be shared with concurrent cells.
+	scaleFn := clockfn.RatLinear{
+		Rate: new(big.Rat).Set(iters[sc.scale].Rate),
+		Off:  new(big.Rat).Set(iters[sc.scale].Off),
+	}
+	var scr clockfn.RatScratch
 	correct := make(map[int]int, len(sc.u)) // G-node -> S preimage
 	for _, sn := range sc.u {
 		correct[cover.Phi[sn]] = sn
@@ -97,17 +105,27 @@ func checkScaledScenario(cover *graph.Cover, params Params, builders map[string]
 	for gn := 0; gn < g.N(); gn++ {
 		gName := g.Name(gn)
 		if sn, ok := correct[gn]; ok {
+			// The scaled clock law: (q h^-pos) ∘ h^scale; the exponent is
+			// always <= 0 in the node and connectivity scenarios, so it
+			// resolves through the iterate table.
+			var law clockfn.RatLinear
+			if e := sc.scale - position[sn]; e <= 0 && -e < len(iters) {
+				law = iters[-e]
+			} else {
+				law = h.IterateRat(e)
+			}
 			dev := builders[gName](gName, gNeighborNames(g, gn))
 			dev.Init(gName, gNeighborNames(g, gn))
 			nodes[gn] = timedsim.Node{
 				Device: dev,
-				// The scaled clock law: (q h^-pos) ∘ h^scale.
-				Clock: params.Q.ComposeRat(h.IterateRat(sc.scale - position[sn])),
+				Clock:  params.Q.ComposeRat(law),
 			}
 			continue
 		}
-		// Faulty node: script the scaled border sends toward each
-		// correct neighbor.
+		// Faulty node: script the scaled border sends toward each correct
+		// neighbor. Per-edge send lists are time-ordered and scaling
+		// preserves order, so fold-merging them reproduces the stable
+		// sort of their concatenation.
 		var script []timedsim.ScriptedSend
 		for _, gv := range g.Neighbors(gn) {
 			sn, ok := correct[gv]
@@ -115,13 +133,15 @@ func checkScaledScenario(cover *graph.Cover, params Params, builders map[string]
 				continue
 			}
 			pre := cover.EdgePreimage(sn, gn)
-			for _, rec := range runS.Sends[graph.Edge{From: s.Name(pre), To: s.Name(sn)}] {
-				script = append(script, timedsim.ScriptedSend{
+			recs := runS.Sends[graph.Edge{From: s.Name(pre), To: s.Name(sn)}]
+			edge := make([]timedsim.ScriptedSend, 0, len(recs))
+			for _, rec := range recs {
+				edge = append(edge, timedsim.ScriptedSend{
 					At: scaleFn.At(rec.At), To: g.Name(gv), Payload: rec.Payload,
 				})
 			}
+			script = mergeScript(&scr, script, edge)
 		}
-		sortScript(script)
 		nodes[gn] = timedsim.Node{Script: script, Clock: params.Q}
 	}
 	until := scaleFn.At(tSecond)
@@ -142,9 +162,9 @@ func checkScaledScenario(cover *graph.Cover, params Params, builders map[string]
 		}
 		for j := range ringTicks {
 			rt, gt := ringTicks[j], gTicks[j]
-			if scaled := scaleFn.At(rt.Time); scaled.Cmp(gt.Time) != 0 {
+			if scr.CmpAt(scaleFn, rt.Time, gt.Time) != 0 {
 				return fmt.Errorf("%s: node %s tick %d: scaled time %s != %s",
-					sc.name, gName, j, scaled.RatString(), gt.Time.RatString())
+					sc.name, gName, j, scaleFn.At(rt.Time).RatString(), gt.Time.RatString())
 			}
 			if rt.Snapshot != gt.Snapshot {
 				return fmt.Errorf("%s: node %s tick %d: snapshots differ", sc.name, gName, j)
@@ -164,12 +184,12 @@ func gNeighborNames(g *graph.Graph, u int) []string {
 
 // evaluateScaledScenarios applies the agreement and envelope conditions
 // to every scenario at its scaled time and collects violations.
-func evaluateScaledScenarios(params Params, h clockfn.RatLinear, run *timedsim.Run, scenarios []scaledScenario, tSecond *big.Rat) []Violation {
+func evaluateScaledScenarios(params Params, iters []clockfn.RatLinear, run *timedsim.Run, scenarios []scaledScenario, tSecond *big.Rat) []Violation {
 	const tol = 1e-9
 	pf, qf := params.P.Float(), params.Q.Float()
 	var violations []Violation
 	for _, sc := range scenarios {
-		tau := h.IterateRat(-sc.scale).At(tSecond)
+		tau := iters[sc.scale].At(tSecond)
 		tauF, _ := tau.Float64()
 		bound := params.L.At(qf.At(tauF)) - params.L.At(pf.At(tauF)) - params.Alpha
 		loEnv, hiEnv := params.L.At(pf.At(tauF)), params.U.At(qf.At(tauF))
@@ -244,7 +264,8 @@ func Theorem8Nodes(params Params, g *graph.Graph, aSet, bSet, cSet []int, f int,
 		position[i] = (i/n)*3 + block[i%n]
 	}
 	h := params.H()
-	sys, err := installScaledCover(cover, params, builders, h, position)
+	iters := clockfn.Iterates(h, -1, positionsTotal-1)
+	sys, err := installScaledCover(cover, params, builders, iters, position)
 	if err != nil {
 		return nil, err
 	}
@@ -277,11 +298,11 @@ func Theorem8Nodes(params Params, g *graph.Graph, aSet, bSet, cSet []int, f int,
 		Run:     run,
 	}
 	for _, idx := range sampleScenarios(k) {
-		if err := checkScaledScenario(cover, params, builders, h, position, run, scenarios[idx], tSecond); err != nil {
+		if err := checkScaledScenario(cover, params, builders, h, iters, position, run, scenarios[idx], tSecond); err != nil {
 			return nil, fmt.Errorf("clocksync: Lemma 9 self-check failed: %w", err)
 		}
 	}
-	res.Violations = evaluateScaledScenarios(params, h, run, scenarios, tSecond)
+	res.Violations = evaluateScaledScenarios(params, iters, run, scenarios, tSecond)
 	if !res.Contradicted() {
 		return res, fmt.Errorf("clocksync: no condition violated in the general node case — impossible:\n%s", res)
 	}
@@ -308,7 +329,8 @@ func Theorem8Connectivity(params Params, g *graph.Graph, bSet, dSet []int, uNode
 		position[i] = i / n // all nodes of copy i share the clock q∘h⁻ⁱ
 	}
 	h := params.H()
-	sys, err := installScaledCover(cover, params, builders, h, position)
+	iters := clockfn.Iterates(h, -1, copies-1)
+	sys, err := installScaledCover(cover, params, builders, iters, position)
 	if err != nil {
 		return nil, err
 	}
@@ -372,11 +394,11 @@ func Theorem8Connectivity(params Params, g *graph.Graph, bSet, dSet []int, uNode
 		Run:     run,
 	}
 	for _, idx := range sampleScenarios(len(scenarios) - 2) {
-		if err := checkScaledScenario(cover, params, builders, h, position, run, scenarios[idx], tSecond); err != nil {
+		if err := checkScaledScenario(cover, params, builders, h, iters, position, run, scenarios[idx], tSecond); err != nil {
 			return nil, fmt.Errorf("clocksync: Lemma 9 self-check failed: %w", err)
 		}
 	}
-	res.Violations = evaluateScaledScenarios(params, h, run, scenarios, tSecond)
+	res.Violations = evaluateScaledScenarios(params, iters, run, scenarios, tSecond)
 	if !res.Contradicted() {
 		return res, fmt.Errorf("clocksync: no condition violated in the connectivity case — impossible:\n%s", res)
 	}

@@ -28,26 +28,39 @@ type GridDevice struct {
 
 // EvalGrid runs Theorem8 for every (case, device) cell in parallel and
 // returns the results as out[caseIdx][deviceIdx], in the same order the
-// cases and devices were given.
+// cases and devices were given. The device-independent half of each
+// case's argument — induction length, verified ring cover, the h-iterate
+// table, and t'' — is prepared once per case and shared (read-only) by
+// all of that case's device cells, rather than rebuilt per cell.
 func EvalGrid(cases []GridCase, devices []GridDevice) ([][]*Result, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("clocksync: grid needs at least one device family")
 	}
-	flat, err := sweep.Map(len(cases)*len(devices), func(k int) (*Result, error) {
-		c := cases[k/len(devices)]
-		d := devices[k%len(devices)]
-		r, err := Theorem8(c.Params, d.Builders(c.Params))
-		if err != nil {
-			return nil, fmt.Errorf("%s / %s: %w", c.Name, d.Name, err)
-		}
-		return r, nil
-	})
+	type prepOutcome struct {
+		prep *theorem8Prep
+		err  error
+	}
+	sizes := make([]int, len(cases))
+	for i := range sizes {
+		sizes[i] = len(devices)
+	}
+	out, err := sweep.Grouped(sizes,
+		func(c int) prepOutcome {
+			prep, err := prepareTheorem8(cases[c].Params)
+			return prepOutcome{prep: prep, err: err}
+		},
+		func(c, d int, p prepOutcome) (*Result, error) {
+			if p.err != nil {
+				return nil, fmt.Errorf("%s / %s: %w", cases[c].Name, devices[d].Name, p.err)
+			}
+			r, err := runTheorem8(p.prep, devices[d].Builders(cases[c].Params))
+			if err != nil {
+				return nil, fmt.Errorf("%s / %s: %w", cases[c].Name, devices[d].Name, err)
+			}
+			return r, nil
+		})
 	if err != nil {
 		return nil, err
-	}
-	out := make([][]*Result, len(cases))
-	for i := range cases {
-		out[i] = flat[i*len(devices) : (i+1)*len(devices)]
 	}
 	return out, nil
 }

@@ -90,6 +90,43 @@ func (p Params) ChooseK() (int, error) {
 // H returns h = p⁻¹ ∘ q, exactly.
 func (p Params) H() clockfn.RatLinear { return p.P.InverseRat().ComposeRat(p.Q) }
 
+// theorem8Prep is everything a Theorem 8 run needs that depends only on
+// the Params, not on the devices: the induction length, the verified ring
+// cover, h = p⁻¹∘q, the table of its inverse iterates, and t''. Grid
+// sweeps (EvalGrid) build one prep per parameter case and share it across
+// every device cell; the prep is read-only during runs, and every
+// rational it holds is treated as immutable (scratch comparators copy
+// before decomposing, since big.Rat lazily materializes denominators in
+// place).
+type theorem8Prep struct {
+	params  Params
+	k       int
+	cover   *graph.Cover
+	h       clockfn.RatLinear
+	iters   []clockfn.RatLinear // iters[i] = h⁻ⁱ, i = 0..k+1
+	tSecond *big.Rat            // t'' = hᵏ(t')
+}
+
+// prepareTheorem8 does the device-independent setup of the Theorem 8
+// argument. Ring construction, cover verification, and the O(k) iterate
+// table replace the O(k²) per-scenario IterateRat calls of the direct
+// formulation.
+func prepareTheorem8(params Params) (*theorem8Prep, error) {
+	k, err := params.ChooseK()
+	if err != nil {
+		return nil, err
+	}
+	size := k + 2
+	cover := graph.RingCoverTriangle(size)
+	if err := cover.Verify(); err != nil {
+		return nil, err
+	}
+	h := params.H()
+	iters := clockfn.Iterates(h, -1, size-1)
+	tSecond := h.IterateRat(k).At(params.TPrime)
+	return &theorem8Prep{params: params, k: k, cover: cover, h: h, iters: iters, tSecond: tSecond}, nil
+}
+
 // Theorem8 mechanizes the clock synchronization impossibility on the
 // triangle. Devices (keyed by triangle node name a/b/c) are installed on
 // the (k+2)-ring covering with hardware clocks D_i = q∘h⁻ⁱ; the system
@@ -99,18 +136,23 @@ func (p Params) H() clockfn.RatLinear { return p.P.InverseRat().ComposeRat(p.Q) 
 // Lemma 11's arithmetic makes them jointly unsatisfiable, so at least one
 // recorded violation is guaranteed for any devices whatsoever.
 func Theorem8(params Params, builders map[string]Builder) (*Result, error) {
-	k, err := params.ChooseK()
+	prep, err := prepareTheorem8(params)
 	if err != nil {
 		return nil, err
 	}
+	return runTheorem8(prep, builders)
+}
+
+// runTheorem8 is the device-dependent half: install the panel on the
+// prepared ring, execute, self-check, and evaluate the conditions. Safe
+// to call concurrently with the same prep.
+func runTheorem8(prep *theorem8Prep, builders map[string]Builder) (*Result, error) {
+	params, k, tSecond := prep.params, prep.k, prep.tSecond
 	size := k + 2
-	cover := graph.RingCoverTriangle(size)
-	h := params.H()
-	sys, err := installRing(cover, params, builders, h)
+	sys, err := installRing(prep.cover, params, builders, prep.iters)
 	if err != nil {
 		return nil, err
 	}
-	tSecond := h.IterateRat(k).At(params.TPrime)
 	// The fastest node experiences q(t'') of hardware time, i.e. about
 	// q(hᵏ(t'))/Δ ticks — exponential in k for rate-scaled clocks. Guard
 	// against parameter choices that would take hours to simulate; a
@@ -134,7 +176,7 @@ func Theorem8(params Params, builders map[string]Builder) (*Result, error) {
 	// Lemma 9/Scaling self-check on a sample of scenarios: the scaled
 	// pair must replay as two correct nodes of the triangle.
 	for _, i := range sampleScenarios(k) {
-		if err := checkLemma9(cover, params, builders, h, run, i, tSecond); err != nil {
+		if err := checkLemma9(prep.cover, params, builders, prep.iters, run, i, tSecond); err != nil {
 			return nil, fmt.Errorf("clocksync: Lemma 9 self-check failed for S%d: %w", i, err)
 		}
 	}
@@ -145,7 +187,7 @@ func Theorem8(params Params, builders map[string]Builder) (*Result, error) {
 	pf, qf := params.P.Float(), params.Q.Float()
 	res.Floors = make([]float64, size)
 	for i := 0; i <= k; i++ {
-		tau := h.IterateRat(-i).At(tSecond)
+		tau := prep.iters[i].At(tSecond)
 		tauF, _ := tau.Float64()
 		scen := fmt.Sprintf("S%d", i)
 		bound := lF.At(qf.At(tauF)) - lF.At(pf.At(tauF)) - params.Alpha
@@ -198,11 +240,10 @@ func sampleScenarios(k int) []int {
 }
 
 // installRing builds the timed system on the ring cover: node i runs the
-// device of its triangle image (renamed) with hardware clock q∘h⁻ⁱ.
-func installRing(cover *graph.Cover, params Params, builders map[string]Builder, h clockfn.RatLinear) (*timedsim.System, error) {
-	if err := cover.Verify(); err != nil {
-		return nil, err
-	}
+// device of its triangle image (renamed) with hardware clock q∘h⁻ⁱ,
+// taken from the prepared iterate table (iters[i] = h⁻ⁱ). The cover was
+// verified by prepareTheorem8.
+func installRing(cover *graph.Cover, params Params, builders map[string]Builder, iters []clockfn.RatLinear) (*timedsim.System, error) {
 	s, g := cover.S, cover.G
 	nodes := make([]timedsim.Node, s.N())
 	for i := 0; i < s.N(); i++ {
@@ -225,7 +266,7 @@ func installRing(cover *graph.Cover, params Params, builders map[string]Builder,
 		inner.Init(gName, sortedStrings(gNeighbors))
 		nodes[i] = timedsim.Node{
 			Device: timedsim.Renamed(inner, toG, toS),
-			Clock:  params.Q.ComposeRat(h.IterateRat(-i)),
+			Clock:  params.Q.ComposeRat(iters[i]),
 		}
 	}
 	return &timedsim.System{G: s, Nodes: nodes, Delta: params.Delta}, nil
@@ -247,25 +288,33 @@ func sortedStrings(s []string) []string {
 // tick sequences must match the ring's exactly (times scaled by h⁻ⁱ,
 // hardware readings and snapshots identical). This validates the
 // Scaling, Locality, and Fault axioms on the actual run.
-func checkLemma9(cover *graph.Cover, params Params, builders map[string]Builder, h clockfn.RatLinear, ringRun *timedsim.Run, i int, tSecond *big.Rat) error {
+func checkLemma9(cover *graph.Cover, params Params, builders map[string]Builder, iters []clockfn.RatLinear, ringRun *timedsim.Run, i int, tSecond *big.Rat) error {
 	s, g := cover.S, cover.G
 	size := s.N()
-	scale := h.IterateRat(-i)
+	// Private copy of the shared iterate: the scratch comparators below
+	// decompose Rate/Off in place (lazy denominators), and the table may
+	// be shared with concurrent grid cells.
+	scale := clockfn.RatLinear{
+		Rate: new(big.Rat).Set(iters[i].Rate),
+		Off:  new(big.Rat).Set(iters[i].Off),
+	}
+	var scr clockfn.RatScratch
 	gi, gj := g.Name(cover.Phi[i]), g.Name(cover.Phi[(i+1)%size])
 	third := otherTriangleNode(gi, gj)
 
 	// Scripted border traffic: messages into i from i-1 (played as
 	// third->gi) and into i+1 from i+2 (played as third->gj), times
-	// scaled by h^{-i}.
-	var script []timedsim.ScriptedSend
+	// scaled by h^{-i}. Each edge's sends are already time-ordered and
+	// scaling preserves order, so a merge replaces the full sort.
+	var intoGi, intoGj []timedsim.ScriptedSend
 	prev, next := (i-1+size)%size, (i+2)%size
 	for _, rec := range ringRun.Sends[graph.Edge{From: s.Name(prev), To: s.Name(i)}] {
-		script = append(script, timedsim.ScriptedSend{At: scale.At(rec.At), To: gi, Payload: rec.Payload})
+		intoGi = append(intoGi, timedsim.ScriptedSend{At: scale.At(rec.At), To: gi, Payload: rec.Payload})
 	}
 	for _, rec := range ringRun.Sends[graph.Edge{From: s.Name(next), To: s.Name((i + 1) % size)}] {
-		script = append(script, timedsim.ScriptedSend{At: scale.At(rec.At), To: gj, Payload: rec.Payload})
+		intoGj = append(intoGj, timedsim.ScriptedSend{At: scale.At(rec.At), To: gj, Payload: rec.Payload})
 	}
-	sortScript(script)
+	script := mergeScript(&scr, intoGi, intoGj)
 
 	tri := graph.Triangle()
 	nodes := make([]timedsim.Node, 3)
@@ -306,11 +355,11 @@ func checkLemma9(cover *graph.Cover, params Params, builders map[string]Builder,
 		}
 		for j := range ringTicks {
 			rt, tt := ringTicks[j], triTicks[j]
-			if scaled := scale.At(rt.Time); scaled.Cmp(tt.Time) != 0 {
+			if scr.CmpAt(scale, rt.Time, tt.Time) != 0 {
 				return fmt.Errorf("node %s tick %d: scaled time %s != %s",
-					pair.gName, j, scaled.RatString(), tt.Time.RatString())
+					pair.gName, j, scale.At(rt.Time).RatString(), tt.Time.RatString())
 			}
-			if rt.HW.Cmp(tt.HW) != 0 {
+			if scr.Cmp(rt.HW, tt.HW) != 0 {
 				return fmt.Errorf("node %s tick %d: hw %s != %s",
 					pair.gName, j, rt.HW.RatString(), tt.HW.RatString())
 			}
@@ -341,10 +390,30 @@ func triNeighbors(tri *graph.Graph, name string) []string {
 	return sortedStrings(out)
 }
 
-func sortScript(script []timedsim.ScriptedSend) {
-	for i := 1; i < len(script); i++ {
-		for j := i; j > 0 && script[j].At.Cmp(script[j-1].At) < 0; j-- {
-			script[j], script[j-1] = script[j-1], script[j]
+// mergeScript merges two time-sorted script fragments into one sorted
+// script, with dst's sends winning ties — exactly the order a stable
+// insertion sort of dst followed by add would produce, but in linear time
+// and with the allocation-free scratch comparator instead of big.Rat.Cmp
+// (which builds two fresh Ints per call). Script assembly used to be the
+// single largest allocation site of the corollary grids.
+func mergeScript(scr *clockfn.RatScratch, dst, add []timedsim.ScriptedSend) []timedsim.ScriptedSend {
+	if len(dst) == 0 {
+		return add
+	}
+	if len(add) == 0 {
+		return dst
+	}
+	out := make([]timedsim.ScriptedSend, 0, len(dst)+len(add))
+	i, j := 0, 0
+	for i < len(dst) && j < len(add) {
+		if scr.Cmp(dst[i].At, add[j].At) <= 0 {
+			out = append(out, dst[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
 		}
 	}
+	out = append(out, dst[i:]...)
+	return append(out, add[j:]...)
 }

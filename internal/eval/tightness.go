@@ -17,51 +17,65 @@ import (
 )
 
 // attackSweep runs the trial for every (input pattern, faulty node,
-// strategy) combination and returns passed/total counts. Trials fan out
-// across sweep.Workers() goroutines; each builds its own inputs, panel
-// strategy, and System, and runs the simulator in decision-only fast
-// mode. Results (including the first failing condition) are collected in
+// strategy) combination and returns passed/total counts. The adversary
+// panel and its corrupted builders are constructed once for the whole
+// sweep (the Corrupt wrappers are stateless builder factories), and the
+// input assignment is built once per bit pattern and shared read-only by
+// that pattern's trials via the grouped sweep. Each trial still builds
+// its own System and runs the simulator in decision-only fast mode;
+// results (including the first failing condition) are collected in
 // trial-index order, so the outcome is identical to the sequential loop.
 func attackSweep(g *graph.Graph, honest sim.Builder, rounds int, bitPatterns []int, seed int64) (passed, total int, firstErr error) {
 	names := g.Names()
-	panelSize := len(adversary.Panel(seed))
-	perPattern := len(names) * panelSize
-	trials := len(bitPatterns) * perPattern
+	panel := adversary.Panel(seed)
+	corrupted := make([]sim.Builder, len(panel))
+	for i, strat := range panel {
+		corrupted[i] = strat.Corrupt(honest)
+	}
+	perPattern := len(names) * len(panel)
 	type outcome struct {
 		ok      bool
 		condErr error
 	}
-	results, err := sweep.Map(trials, func(i int) (outcome, error) {
-		bits := bitPatterns[i/perPattern]
-		rest := i % perPattern
-		badNode := names[rest/panelSize]
-		strat := adversary.Panel(seed)[rest%panelSize]
-		inputs := make(map[string]sim.Input, len(names))
-		for j, name := range names {
-			inputs[name] = sim.BoolInput(bits&(1<<uint(j)) != 0)
-		}
-		trial := byzantine.Trial{
-			G:      g,
-			Inputs: inputs,
-			Honest: honest,
-			Faulty: map[string]sim.Builder{badNode: strat.Corrupt(honest)},
-			Rounds: rounds,
-		}
-		_, _, rep, err := trial.RunWith(sim.ExecuteOpts{})
-		if err != nil {
-			return outcome{}, err
-		}
-		return outcome{ok: rep.OK(), condErr: rep.Err()}, nil
-	})
+	sizes := make([]int, len(bitPatterns))
+	for i := range sizes {
+		sizes[i] = perPattern
+	}
+	grouped, err := sweep.Grouped(sizes,
+		func(p int) map[string]sim.Input {
+			bits := bitPatterns[p]
+			inputs := make(map[string]sim.Input, len(names))
+			for j, name := range names {
+				inputs[name] = sim.BoolInput(bits&(1<<uint(j)) != 0)
+			}
+			return inputs
+		},
+		func(p, rest int, inputs map[string]sim.Input) (outcome, error) {
+			badNode := names[rest/len(panel)]
+			trial := byzantine.Trial{
+				G:      g,
+				Inputs: inputs,
+				Honest: honest,
+				Faulty: map[string]sim.Builder{badNode: corrupted[rest%len(panel)]},
+				Rounds: rounds,
+			}
+			_, _, rep, err := trial.RunWith(sim.ExecuteOpts{})
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{ok: rep.OK(), condErr: rep.Err()}, nil
+		})
 	if err != nil {
 		return 0, 0, err
 	}
-	for _, o := range results {
-		total++
-		if o.ok {
-			passed++
-		} else if firstErr == nil {
-			firstErr = o.condErr
+	for _, group := range grouped {
+		for _, o := range group {
+			total++
+			if o.ok {
+				passed++
+			} else if firstErr == nil {
+				firstErr = o.condErr
+			}
 		}
 	}
 	return passed, total, nil

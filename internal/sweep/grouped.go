@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"sort"
+	"sync"
+)
+
+// Grouped is Map for sweeps whose trials cluster into groups that share
+// expensive setup: sizes[g] trials belong to group g, setup(g) is
+// computed at most once (lazily, when the first trial of the group is
+// claimed) and handed to every fn call of that group. Results come back
+// as out[group][indexWithinGroup], in the given order.
+//
+// This is the batch counterpart of the "each trial builds everything
+// itself" contract of Map: graph covers, routing tables, iterate tables,
+// and device-builder closures that are identical across a group's trials
+// are built once per group instead of once per trial, while the trials
+// themselves still fan out across Workers() goroutines with Map's
+// ordering and first-error guarantees (the reported error is the one from
+// the lowest flat trial index).
+//
+// setup must return a value that is safe for the group's trials to share
+// concurrently (read-only, or internally synchronized); it runs on a
+// worker goroutine and must not fail — encode setup errors in S and
+// surface them from fn so they participate in first-error ordering.
+// fn(g, i, s) receives the group index, the trial's index within the
+// group, and the group's setup value.
+func Grouped[S, T any](sizes []int, setup func(g int) S, fn func(g, i int, s S) (T, error)) ([][]T, error) {
+	starts := make([]int, len(sizes)+1)
+	for g, sz := range sizes {
+		if sz < 0 {
+			sz = 0
+		}
+		starts[g+1] = starts[g] + sz
+	}
+	total := starts[len(sizes)]
+	onces := make([]sync.Once, len(sizes))
+	vals := make([]S, len(sizes))
+	flat, err := Map(total, func(i int) (T, error) {
+		g := sort.SearchInts(starts[1:], i+1)
+		onces[g].Do(func() { vals[g] = setup(g) })
+		return fn(g, i-starts[g], vals[g])
+	})
+	out := make([][]T, len(sizes))
+	for g := range sizes {
+		out[g] = flat[starts[g]:starts[g+1]]
+	}
+	return out, err
+}

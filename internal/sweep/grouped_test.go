@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupedShapesAndSetupOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			prev := SetWorkers(workers)
+			defer SetWorkers(prev)
+			sizes := []int{3, 0, 2, 4}
+			setups := make([]atomic.Int64, len(sizes))
+			out, err := Grouped(sizes,
+				func(g int) int {
+					setups[g].Add(1)
+					return g * 100
+				},
+				func(g, i int, s int) (int, error) {
+					if s != g*100 {
+						return 0, fmt.Errorf("group %d trial %d: setup value %d", g, i, s)
+					}
+					return s + i, nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != len(sizes) {
+				t.Fatalf("got %d groups, want %d", len(out), len(sizes))
+			}
+			for g, sz := range sizes {
+				if len(out[g]) != sz {
+					t.Fatalf("group %d: got %d results, want %d", g, len(out[g]), sz)
+				}
+				for i, v := range out[g] {
+					if v != g*100+i {
+						t.Fatalf("group %d trial %d: got %d, want %d", g, i, v, g*100+i)
+					}
+				}
+				want := int64(1)
+				if sz == 0 {
+					want = 0 // lazy: empty groups never pay their setup
+				}
+				if n := setups[g].Load(); n != want {
+					t.Fatalf("group %d: setup ran %d times, want %d", g, n, want)
+				}
+			}
+		})
+	}
+}
+
+func TestGroupedFirstError(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	sizes := []int{2, 3}
+	_, err := Grouped(sizes,
+		func(g int) struct{} { return struct{}{} },
+		func(g, i int, _ struct{}) (int, error) {
+			if g == 1 && i >= 1 {
+				return 0, fmt.Errorf("boom %d/%d", g, i)
+			}
+			return 0, nil
+		})
+	if err == nil || err.Error() != "boom 1/1" {
+		t.Fatalf("got error %v, want the lowest failing trial's (boom 1/1)", err)
+	}
+}
+
+func TestGroupedEmpty(t *testing.T) {
+	out, err := Grouped(nil,
+		func(g int) struct{} { return struct{}{} },
+		func(g, i int, _ struct{}) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got (%v, %v), want an empty grid", out, err)
+	}
+}

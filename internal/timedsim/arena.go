@@ -1,0 +1,33 @@
+package timedsim
+
+import "math/big"
+
+// ratArena is a per-execution slab allocator for the big.Rat values that
+// escape into a Run (tick times, hardware readings, message send
+// stamps). The event loop creates a handful of rationals per event; a
+// fresh new(big.Rat) for each is one heap object per value, while the
+// arena hands out slots from chunked slabs so the allocator cost is paid
+// once per chunk. Escaping pointers keep their chunk alive, so the arena
+// itself retains nothing: the values live exactly as long as the Run
+// they were recorded into.
+//
+// Arena values are handed out zero (big.Rat's zero value is 0/1) and
+// must be fully set by the caller before they escape. An arena is bound
+// to a single Execute call and is not safe for concurrent use.
+type ratArena struct {
+	cur  []big.Rat
+	used int
+}
+
+const ratArenaChunk = 256
+
+// next returns a fresh zero-valued *big.Rat from the arena.
+func (a *ratArena) next() *big.Rat {
+	if a.used == len(a.cur) {
+		a.cur = make([]big.Rat, ratArenaChunk)
+		a.used = 0
+	}
+	r := &a.cur[a.used]
+	a.used++
+	return r
+}

@@ -23,7 +23,9 @@ import (
 	"flm/internal/graph"
 )
 
-// Message is a delivered payload with its exact send time.
+// Message is a delivered payload with its exact send time. SentAt may be
+// shared between every message of one send event and the corresponding
+// records of the Run; it must be treated as immutable.
 type Message struct {
 	From    string
 	Payload string
@@ -43,7 +45,12 @@ type Device interface {
 	Init(self string, neighbors []string)
 	// Tick is invoked at the device's k-th hardware tick with the exact
 	// hardware reading and the messages that became consumable since the
-	// previous tick (sorted by send time, then sender).
+	// previous tick (sorted by send time, then sender). The inbox slice
+	// is owned by the executor and reused between ticks: devices must
+	// read what they need during Tick and must not retain the slice.
+	// Symmetrically, the returned Send slice is owned by the device and
+	// may be a buffer it reuses on the next Tick; the executor consumes
+	// it before ticking the device again.
 	Tick(k int, hw *big.Rat, inbox []Message) []Send
 	// Logical returns the logical clock value for a given hardware
 	// reading, using the device's current correction state.
@@ -97,7 +104,10 @@ type SendRecord struct {
 	Payload string
 }
 
-// Run is a recorded timed system behavior.
+// Run is a recorded timed system behavior. Its rationals live in a
+// per-execution arena and may be aliased between records of the same
+// event (a tick's Time is the SentAt of every message it sent); they
+// must be treated as immutable.
 type Run struct {
 	G            *graph.Graph
 	Until        *big.Rat
@@ -105,6 +115,16 @@ type Run struct {
 	Sends        map[graph.Edge][]SendRecord
 	FinalLogical []float64  // logical clocks evaluated at time Until
 	FinalHW      []*big.Rat // hardware readings at time Until
+}
+
+// tickSched is one device node's tick schedule as an exact integer
+// fraction: with tick spacing Δ = dn/dd and hardware clock
+// (rn/rd)·t + (on/od), tick k happens at real time
+// (k·dn·od·rd − on·dd·rd) / (dd·od·rn). The denominator is positive and
+// fixed, so advancing to the next tick is a single in-place big.Int add
+// and the event scan compares fractions without allocating.
+type tickSched struct {
+	num, den, step big.Int
 }
 
 // Execute runs the system from real time 0 through real time until
@@ -125,19 +145,23 @@ func Execute(sys *System, until *big.Rat) (*Run, error) {
 		FinalLogical: make([]float64, g.N()),
 		FinalHW:      make([]*big.Rat, g.N()),
 	}
-	pending := make([][]Message, g.N())
+	var (
+		scr   clockfn.RatScratch
+		arena ratArena
+	)
+	// Local copies of the shared parameters before any denominator is
+	// read: accessing a big.Rat's denominator materializes it in place,
+	// and the caller's Delta/clock rationals may be shared with systems
+	// executing concurrently (a prepared grid sweep).
+	delta := new(big.Rat).Set(sys.Delta)
+	dn, dd := delta.Num(), delta.Denom()
+	untilN, untilD := run.Until.Num(), run.Until.Denom()
 
-	// nextTick[k] for device nodes: the next tick index; -1 for script
-	// nodes. scriptPos for script nodes. nextTickTime caches the real
-	// time of the next tick so the event scan does no clock arithmetic.
-	nextTick := make([]int64, g.N())
-	nextTickTime := make([]*big.Rat, g.N())
+	pending := make([][]Message, g.N())
+	sched := make([]tickSched, g.N())
+	nextTick := make([]int64, g.N()) // next tick index for device nodes; -1 for scripts
 	scriptPos := make([]int, g.N())
-	tickTime := func(u int, k int64) *big.Rat {
-		hw := new(big.Rat).SetInt64(k)
-		hw.Mul(hw, sys.Delta)
-		return sys.Nodes[u].Clock.Inv(hw)
-	}
+	var inboxBuf []Message
 	for u := 0; u < g.N(); u++ {
 		node := sys.Nodes[u]
 		if node.Clock.Rate == nil || node.Clock.Rate.Sign() <= 0 {
@@ -151,86 +175,130 @@ func Execute(sys *System, until *big.Rat) (*Run, error) {
 			// real time is what makes the Scaling axiom hold exactly —
 			// real time is unobservable in this model.
 			nextTick[u] = 0
-			nextTickTime[u] = tickTime(u, 0)
+			var rate, off big.Rat
+			rate.Set(node.Clock.Rate)
+			off.Set(node.Clock.Off)
+			rn, rd := rate.Num(), rate.Denom()
+			on, od := off.Num(), off.Denom()
+			s := &sched[u]
+			s.den.Mul(dd, od)
+			s.den.Mul(&s.den, rn)
+			s.step.Mul(dn, od)
+			s.step.Mul(&s.step, rd)
+			s.num.Mul(on, dd)
+			s.num.Mul(&s.num, rd)
+			s.num.Neg(&s.num)
 		} else {
 			nextTick[u] = -1
 			// Scripts must be sorted by time for deterministic replay.
 			script := node.Script
-			sorted := sort.SliceIsSorted(script, func(i, j int) bool {
-				return script[i].At.Cmp(script[j].At) < 0
-			})
-			if !sorted {
-				return nil, fmt.Errorf("timedsim: script for node %s not sorted by time", g.Name(u))
+			for i := 1; i < len(script); i++ {
+				if scr.Cmp(script[i].At, script[i-1].At) < 0 {
+					return nil, fmt.Errorf("timedsim: script for node %s not sorted by time", g.Name(u))
+				}
 			}
 		}
 	}
 
+	var lim *big.Rat // scratch for the real-delay consumability cutoff
+	if sys.RealDelay != nil && sys.RealDelay.Sign() > 0 {
+		lim = new(big.Rat)
+	}
 	for {
-		// Find the earliest event: a device tick or a scripted send.
+		// Find the earliest event: a device tick or a scripted send. The
+		// best candidate is tracked as a fraction bestN/bestD (bestD > 0)
+		// pointing into a schedule or a script time, so the whole scan is
+		// scratch comparisons.
 		bestNode, bestIsTick := -1, false
-		var bestTime *big.Rat
+		var bestN, bestD *big.Int
 		for u := 0; u < g.N(); u++ {
-			node := sys.Nodes[u]
+			node := &sys.Nodes[u]
 			if node.Device != nil {
-				t := nextTickTime[u]
-				if t.Cmp(until) > 0 {
+				s := &sched[u]
+				if scr.CmpFrac(&s.num, &s.den, untilN, untilD) > 0 {
 					continue
 				}
-				if bestTime == nil || t.Cmp(bestTime) < 0 {
-					bestTime, bestNode, bestIsTick = t, u, true
+				if bestNode < 0 || scr.CmpFrac(&s.num, &s.den, bestN, bestD) < 0 {
+					bestN, bestD, bestNode, bestIsTick = &s.num, &s.den, u, true
 				}
 			} else if scriptPos[u] < len(node.Script) {
 				t := node.Script[scriptPos[u]].At
-				if t.Cmp(until) > 0 {
+				if scr.CmpFracRat(untilN, untilD, t) < 0 {
 					continue
 				}
-				if bestTime == nil || t.Cmp(bestTime) < 0 {
-					bestTime, bestNode, bestIsTick = t, u, false
+				if bestNode < 0 || scr.CmpFrac(t.Num(), t.Denom(), bestN, bestD) < 0 {
+					bestN, bestD, bestNode, bestIsTick = t.Num(), t.Denom(), u, false
 				}
 			}
 		}
 		if bestNode < 0 {
 			break
 		}
-		u, now := bestNode, bestTime
+		u := bestNode
 		node := sys.Nodes[u]
 		if bestIsTick {
 			k := nextTick[u]
-			hw := new(big.Rat).SetInt64(k)
-			hw.Mul(hw, sys.Delta)
-			inbox, rest := splitConsumable(pending[u], now, sys.RealDelay)
-			pending[u] = rest
-			sends := node.Device.Tick(int(k), hw, inbox)
-			for _, s := range sends {
-				v, ok := g.Index(s.To)
-				if !ok || !g.HasEdge(u, v) {
-					return nil, fmt.Errorf("timedsim: node %s sent to non-neighbor %q", g.Name(u), s.To)
+			s := &sched[u]
+			hw := arena.next()
+			hw.SetInt64(k)
+			hw.Mul(hw, delta)
+			now := arena.next().SetFrac(&s.num, &s.den)
+			// Split the consumable messages off pending[u] in place and
+			// sort them into the reused inbox buffer. Pending append
+			// order is non-decreasing in send time, so the stable
+			// insertion sort is near-linear and byte-identical to the
+			// specified (send time, sender, payload) stable order.
+			cutN, cutD := now.Num(), now.Denom()
+			if lim != nil {
+				lim.Sub(now, sys.RealDelay)
+				cutN, cutD = lim.Num(), lim.Denom()
+			}
+			inbox := inboxBuf[:0]
+			rest := pending[u][:0]
+			for _, m := range pending[u] {
+				if scr.CmpFracRat(cutN, cutD, m.SentAt) > 0 {
+					inbox = append(inbox, m)
+				} else {
+					rest = append(rest, m)
 				}
-				msg := Message{From: g.Name(u), Payload: s.Payload, SentAt: new(big.Rat).Set(now)}
-				pending[v] = append(pending[v], msg)
-				e := graph.Edge{From: g.Name(u), To: s.To}
-				run.Sends[e] = append(run.Sends[e], SendRecord{At: msg.SentAt, Payload: s.Payload})
+			}
+			pending[u] = rest
+			for i := 1; i < len(inbox); i++ {
+				for j := i; j > 0 && msgLess(&scr, &inbox[j], &inbox[j-1]); j-- {
+					inbox[j], inbox[j-1] = inbox[j-1], inbox[j]
+				}
+			}
+			inboxBuf = inbox[:0]
+			sends := node.Device.Tick(int(k), hw, inbox)
+			for _, snd := range sends {
+				v, ok := g.Index(snd.To)
+				if !ok || !g.HasEdge(u, v) {
+					return nil, fmt.Errorf("timedsim: node %s sent to non-neighbor %q", g.Name(u), snd.To)
+				}
+				pending[v] = append(pending[v], Message{From: g.Name(u), Payload: snd.Payload, SentAt: now})
+				e := graph.Edge{From: g.Name(u), To: snd.To}
+				run.Sends[e] = append(run.Sends[e], SendRecord{At: now, Payload: snd.Payload})
 			}
 			run.Ticks[u] = append(run.Ticks[u], TickRecord{
 				Index:    int(k),
-				Time:     new(big.Rat).Set(now),
+				Time:     now,
 				HW:       hw,
 				Snapshot: node.Device.Snapshot(),
 				Logical:  node.Device.Logical(hw),
 			})
 			nextTick[u] = k + 1
-			nextTickTime[u] = tickTime(u, k+1)
+			s.num.Add(&s.num, &s.step)
 		} else {
-			s := node.Script[scriptPos[u]]
+			sc := node.Script[scriptPos[u]]
 			scriptPos[u]++
-			v, ok := g.Index(s.To)
+			v, ok := g.Index(sc.To)
 			if !ok || !g.HasEdge(u, v) {
-				return nil, fmt.Errorf("timedsim: script for %s sends to non-neighbor %q", g.Name(u), s.To)
+				return nil, fmt.Errorf("timedsim: script for %s sends to non-neighbor %q", g.Name(u), sc.To)
 			}
-			msg := Message{From: g.Name(u), Payload: s.Payload, SentAt: new(big.Rat).Set(s.At)}
-			pending[v] = append(pending[v], msg)
-			e := graph.Edge{From: g.Name(u), To: s.To}
-			run.Sends[e] = append(run.Sends[e], SendRecord{At: msg.SentAt, Payload: s.Payload})
+			at := arena.next().Set(sc.At)
+			pending[v] = append(pending[v], Message{From: g.Name(u), Payload: sc.Payload, SentAt: at})
+			e := graph.Edge{From: g.Name(u), To: sc.To}
+			run.Sends[e] = append(run.Sends[e], SendRecord{At: at, Payload: sc.Payload})
 		}
 	}
 
@@ -244,31 +312,16 @@ func Execute(sys *System, until *big.Rat) (*Run, error) {
 	return run, nil
 }
 
-// splitConsumable returns the pending messages whose (send time + real
-// delay) is strictly before now (sorted deterministically) and the
-// remainder.
-func splitConsumable(pending []Message, now, realDelay *big.Rat) (inbox, rest []Message) {
-	for _, m := range pending {
-		due := m.SentAt
-		if realDelay != nil && realDelay.Sign() > 0 {
-			due = new(big.Rat).Add(m.SentAt, realDelay)
-		}
-		if due.Cmp(now) < 0 {
-			inbox = append(inbox, m)
-		} else {
-			rest = append(rest, m)
-		}
+// msgLess is the deterministic inbox order: send time, then sender, then
+// payload.
+func msgLess(scr *clockfn.RatScratch, a, b *Message) bool {
+	if c := scr.Cmp(a.SentAt, b.SentAt); c != 0 {
+		return c < 0
 	}
-	sort.SliceStable(inbox, func(i, j int) bool {
-		if c := inbox[i].SentAt.Cmp(inbox[j].SentAt); c != 0 {
-			return c < 0
-		}
-		if inbox[i].From != inbox[j].From {
-			return inbox[i].From < inbox[j].From
-		}
-		return inbox[i].Payload < inbox[j].Payload
-	})
-	return inbox, rest
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.Payload < b.Payload
 }
 
 func neighborNames(g *graph.Graph, u int) []string {
@@ -301,11 +354,14 @@ func (r *Run) LogicalOf(name string) (float64, error) {
 
 // renamedDevice adapts a device built for a node of G to run at a node of
 // a covering graph S, translating neighbor names both ways (the timed
-// counterpart of the synchronous renamer).
+// counterpart of the synchronous renamer). The translation buffers are
+// reused between ticks under the Device ownership contract.
 type renamedDevice struct {
-	inner Device
-	toG   map[string]string
-	toS   map[string]string
+	inner  Device
+	toG    map[string]string
+	toS    map[string]string
+	gInbox []Message
+	out    []Send
 }
 
 var _ Device = (*renamedDevice)(nil)
@@ -320,19 +376,21 @@ func (d *renamedDevice) Init(self string, neighbors []string) {
 }
 
 func (d *renamedDevice) Tick(k int, hw *big.Rat, inbox []Message) []Send {
-	gInbox := make([]Message, 0, len(inbox))
+	gInbox := d.gInbox[:0]
 	for _, m := range inbox {
 		if gFrom, ok := d.toG[m.From]; ok {
 			gInbox = append(gInbox, Message{From: gFrom, Payload: m.Payload, SentAt: m.SentAt})
 		}
 	}
+	d.gInbox = gInbox
 	sends := d.inner.Tick(k, hw, gInbox)
-	out := make([]Send, 0, len(sends))
+	out := d.out[:0]
 	for _, s := range sends {
 		if sTo, ok := d.toS[s.To]; ok {
 			out = append(out, Send{To: sTo, Payload: s.Payload})
 		}
 	}
+	d.out = out
 	return out
 }
 
