@@ -1,6 +1,11 @@
 # Verification gates (see ROADMAP.md).
 #
-# verify       tier-1: build + full test suite
+# verify       tier-1: build + full test suite + flmlint
+# lint         build the flmlint vettool and run it over every package
+#              via `go vet -vettool` (per-package result caching); the
+#              four analyzers machine-check determinism, fingerprint
+#              coverage, zero-cost observability, and buffer ownership
+#              (see internal/lint)
 # verify-race  extended: vet + race-enabled tests; FLM_WORKERS forces the
 #              parallel sweep path so the race detector sees real
 #              concurrency even on single-core runners
@@ -17,6 +22,7 @@
 #              check on the observability layer
 
 GO ?= go
+FLMLINT ?= bin/flmlint
 RACE_WORKERS ?= 4
 CHAOS_SEED ?= 1
 CHAOS_TRIALS ?= 64
@@ -25,11 +31,20 @@ BENCH_GATE_ENTRIES ?= micro:timedsim-tick,micro:eig-resolve
 BENCH_GATE_THRESHOLD ?= 10
 TRACE_FILE ?= /tmp/flm-trace-smoke.jsonl
 
-.PHONY: verify verify-race bench bench-smoke bench-gate chaos trace-smoke
+.PHONY: verify verify-race lint bench bench-smoke bench-gate chaos trace-smoke
 
-verify:
+verify: lint
 	$(GO) build ./...
 	$(GO) test ./...
+
+# The vettool is rebuilt every time (it is one small package; go build
+# is a no-op when nothing changed) so `make lint` can never run a stale
+# binary. go vet hashes the binary into its action IDs, so per-package
+# results are cached across runs until the analyzers change.
+lint:
+	@mkdir -p $(dir $(FLMLINT))
+	$(GO) build -o $(FLMLINT) ./cmd/flmlint
+	$(GO) vet -vettool=$(FLMLINT) ./...
 
 verify-race: verify
 	$(GO) vet ./...

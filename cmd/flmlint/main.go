@@ -1,0 +1,84 @@
+// Command flmlint is the repo's custom static-analysis vettool. It
+// runs the four invariant checkers in internal/lint — flmdeterminism,
+// flmfingerprint, flmobscost, flmalias — either under the go command:
+//
+//	go vet -vettool=bin/flmlint ./...
+//
+// or standalone on package patterns:
+//
+//	go run ./cmd/flmlint ./...
+//
+// Both modes exit nonzero when any finding survives the
+// //flmlint:allow directives; `make lint` (folded into `make verify`)
+// and the CI lint job gate on that.
+//
+// The vettool mode speaks the cmd/go vet protocol directly (the same
+// one x/tools' unitchecker implements): -V=full prints a content hash
+// of the binary for the build cache, -flags advertises no extra flags,
+// and a lone *.cfg argument is a per-package JSON config whose export
+// data we type-check against. The module deliberately has no
+// dependencies, so the protocol is implemented here on the standard
+// library alone.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flm/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No tool-specific flags; cmd/go requires valid JSON here.
+		if err := json.NewEncoder(os.Stdout).Encode([]struct{}{}); err != nil {
+			fmt.Fprintf(os.Stderr, "flmlint: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(lint.RunVet(args[0], lint.All(), os.Stderr))
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flmlint <packages>   (or via go vet -vettool)")
+		os.Exit(1)
+	}
+	os.Exit(lint.RunStandalone(args, lint.All(), os.Stderr))
+}
+
+// printVersion emits the `name version buildID` line cmd/go hashes
+// into its action IDs, so editing the linter invalidates cached vet
+// results. Hashing the executable itself is exactly what unitchecker
+// does; it changes whenever the analyzers change.
+func printVersion() {
+	progname := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flmlint: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flmlint: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "flmlint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", progname, h.Sum(nil))
+}

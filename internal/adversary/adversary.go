@@ -220,11 +220,13 @@ func (d *equivocator) Output() (sim.Decision, bool) { return sim.Decision{}, fal
 // noiseDevice sends seeded pseudo-random boolean payloads to every
 // neighbor every round. Deterministic for a fixed (seed, self) pair.
 type noiseDevice struct {
+	//flmlint:allow flmfingerprint topology is keyed by the graph hash, not the device
 	neighbors []string
-	rng       *rand.Rand
-	seed      int64 // builder seed, pre node-name mixing (fingerprint identity)
-	round     int
-	alphabet  []sim.Payload
+	//flmlint:allow flmfingerprint rng stream is a pure function of seed and node name, both keyed
+	rng      *rand.Rand
+	seed     int64 // builder seed, pre node-name mixing (fingerprint identity)
+	round    int
+	alphabet []sim.Payload
 }
 
 var _ sim.Device = (*noiseDevice)(nil)

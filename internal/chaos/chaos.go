@@ -148,6 +148,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 // shrinkTraced wraps Shrink in a "chaos.shrink" span recording how many
 // candidate schedules the minimizer re-executed and the before/after
 // action counts; untraced it is Shrink verbatim.
+//
+//flmlint:allow flmobscost the traced param is obs.Enabled() and gates the span path
 func shrinkTraced(ctx context.Context, trial int, s Schedule, traced bool) (Schedule, bool) {
 	if !traced {
 		return Shrink(s)
@@ -166,6 +168,8 @@ func shrinkTraced(ctx context.Context, trial int, s Schedule, traced bool) (Sche
 
 // recordTrial emits one "chaos.trial" event carrying the trial's attack
 // schedule and its classification, and ticks the outcome counters.
+//
+//flmlint:allow flmobscost called only under `if traced` in the trial loop
 func recordTrial(ctx context.Context, i int, s Schedule, outcome, detail string, shrunkActions int) {
 	mTrials.Inc()
 	switch outcome {

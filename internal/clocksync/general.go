@@ -3,6 +3,7 @@ package clocksync
 import (
 	"fmt"
 	"math/big"
+	"sort"
 
 	"flm/internal/clockfn"
 	"flm/internal/graph"
@@ -62,8 +63,9 @@ func installScaledCover(cover *graph.Cover, params Params, builders map[string]B
 		for gNb := range toS {
 			gNeighbors = append(gNeighbors, gNb)
 		}
+		sort.Strings(gNeighbors)
 		inner := b(gName, gNeighbors)
-		inner.Init(gName, sortedStrings(gNeighbors))
+		inner.Init(gName, gNeighbors)
 		nodes[i] = timedsim.Node{
 			Device: timedsim.Renamed(inner, toG, toS),
 			Clock:  params.Q.ComposeRat(iters[position[i]]),

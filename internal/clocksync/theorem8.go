@@ -3,6 +3,7 @@ package clocksync
 import (
 	"fmt"
 	"math/big"
+	"sort"
 	"strings"
 
 	"flm/internal/clockfn"
@@ -92,7 +93,7 @@ func (p Params) H() clockfn.RatLinear { return p.P.InverseRat().ComposeRat(p.Q) 
 
 // theorem8Prep is everything a Theorem 8 run needs that depends only on
 // the Params, not on the devices: the induction length, the verified ring
-// cover, h = p⁻¹∘q, the table of its inverse iterates, and t''. Grid
+// cover, h = p⁻¹∘q, the table of its inverse iterates, and t”. Grid
 // sweeps (EvalGrid) build one prep per parameter case and share it across
 // every device cell; the prep is read-only during runs, and every
 // rational it holds is treated as immutable (scratch comparators copy
@@ -262,8 +263,9 @@ func installRing(cover *graph.Cover, params Params, builders map[string]Builder,
 		for gNb := range toS {
 			gNeighbors = append(gNeighbors, gNb)
 		}
+		sort.Strings(gNeighbors)
 		inner := b(gName, gNeighbors)
-		inner.Init(gName, sortedStrings(gNeighbors))
+		inner.Init(gName, gNeighbors)
 		nodes[i] = timedsim.Node{
 			Device: timedsim.Renamed(inner, toG, toS),
 			Clock:  params.Q.ComposeRat(iters[i]),

@@ -32,7 +32,8 @@ type renamedDevice struct {
 	inner sim.Device
 	gName string            // the inner device's G-identity
 	toG   map[string]string // S-neighbor name -> G-neighbor name
-	toS   map[string]string // G-neighbor name -> S-neighbor name
+	//flmlint:allow flmfingerprint inverse of toG, which the fingerprint hashes in full
+	toS map[string]string // G-neighbor name -> S-neighbor name
 
 	// Translation buffers reused across Steps (the executor owns the
 	// S-inbox and we own the returned S-outbox per the Device contract,

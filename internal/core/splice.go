@@ -72,6 +72,8 @@ var (
 // dispatch wrapped in a "core.splice" span recording the scenario size,
 // how the splice cache served it, and — on success — the correct and
 // faulty G-node sets of the constructed behavior.
+//
+//flmlint:allow flmobscost reached only from SpliceScenario's obs.Enabled() branch
 func spliceScenarioTraced(inst *Installation, runS *sim.Run, u []int, builders map[string]sim.Builder) (*Splice, error) {
 	ctx, span := obs.StartSpan(context.Background(), "core.splice",
 		obs.Int("scenario_nodes", len(u)),

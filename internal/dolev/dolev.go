@@ -349,6 +349,7 @@ func (d *overlayDevice) stepInner(innerRound int) {
 		}
 		encoded := hex.EncodeToString([]byte(payload))
 		for idx := 0; idx < d.router.NumPaths(); idx++ {
+			//flmlint:allow flmdeterminism flush sorts each neighbor's fragments before emission
 			d.outbox = append(d.outbox, piece{
 				origin: d.self, dest: dest, pathIdx: idx, hop: 1,
 				innerRound: innerRound, payload: encoded,

@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// deterministicPkgs are the engine packages whose outputs must be a
+// pure function of (seeds, inputs, graph): every run, splice, proof
+// chain, sweep, and chaos transcript they produce is replayed and
+// byte-compared by the golden/determinism tests, and the FLM85 splice
+// argument is only checkable against replays that are THE run. Wall
+// clock and the global rand source are forbidden here outright; a
+// justified exception (observability timing that never reaches a
+// result) carries an //flmlint:allow flmdeterminism directive.
+var deterministicPkgs = map[string]bool{
+	"flm":                      true,
+	"flm/internal/sim":         true,
+	"flm/internal/core":        true,
+	"flm/internal/sweep":       true,
+	"flm/internal/chaos":       true,
+	"flm/internal/timedsim":    true,
+	"flm/internal/byzantine":   true,
+	"flm/internal/clocksync":   true,
+	"flm/internal/clockfn":     true,
+	"flm/internal/dolev":       true,
+	"flm/internal/graph":       true,
+	"flm/internal/eval":        true,
+	"flm/internal/adversary":   true,
+	"flm/internal/approx":      true,
+	"flm/internal/weak":        true,
+	"flm/internal/firingsquad": true,
+	"flm/internal/signed":      true,
+	"flm/internal/runcache":    true,
+}
+
+// mapOrderPkgs additionally get the map-iteration-order check: these
+// render human- or machine-readable output (reports, stats tables,
+// JSONL traces) that the golden tests and shard-merge tooling diff
+// byte-for-byte, so emission order out of a map range is a bug even
+// where wall-clock reads are fine.
+var mapOrderPkgs = map[string]bool{
+	"flm/cmd/flm":      true,
+	"flm/internal/obs": true,
+}
+
+// randConstructors are the math/rand functions that only build seeded
+// generators — the one sanctioned way to use randomness in the engine
+// ("seeded pseudo-randomness is permitted because the seed is part of
+// the device").
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Determinism forbids, in the deterministic packages: wall-clock reads
+// (time.Now/Since/Until), the global math/rand source, and map
+// iteration whose order can reach an output (an append or a byte/string
+// emission inside `range m` with no sort of the accumulated slice
+// anywhere in the function).
+var Determinism = &Analyzer{
+	Name: "flmdeterminism",
+	Doc:  "forbid wall clock, global rand, and output-reaching map iteration order in the deterministic engine packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	path := pass.Pkg.Path()
+	deterministic := deterministicPkgs[path]
+	mapOrder := deterministic || mapOrderPkgs[path]
+	if !deterministic && !mapOrder {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		if deterministic {
+			checkWallClock(pass, file)
+			checkGlobalRand(pass, file)
+		}
+		if mapOrder {
+			checkMapOrder(pass, file)
+		}
+	}
+}
+
+// pkgFuncCall reports whether call invokes a package-level function of
+// the package with the given import path, returning its name. Renamed
+// imports resolve correctly because the receiver identifier is looked
+// up as a *types.PkgName.
+func pkgFuncCall(pass *Pass, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkWallClock flags wall-clock reads — except at positions dominated
+// by an obs.Enabled()/nil-handle guard (via the shared guardWalker):
+// timing behind a tracing guard can only feed span durations, never a
+// result, so the sweeps' `if traced { started = time.Now() }` pattern
+// is sanctioned without a directive.
+func checkWallClock(pass *Pass, file *ast.File) {
+	walkGuarded(pass, file, func(pass *Pass, call *ast.CallExpr, guarded bool) {
+		if guarded {
+			return
+		}
+		name, ok := pkgFuncCall(pass, call, "time")
+		if !ok {
+			return
+		}
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in deterministic package %s: results must be a function of seeds and inputs, not the wall clock (obs-guarded timing is exempt)", name, pass.Pkg.Path())
+		}
+	})
+}
+
+func checkGlobalRand(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+			name, ok := pkgFuncCall(pass, call, randPath)
+			if !ok || randConstructors[name] {
+				continue
+			}
+			pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s: draw from a seeded *rand.Rand so replays are worker-count-invariant", name, pass.Pkg.Path())
+		}
+		return true
+	})
+}
+
+// emissionSink classifies calls that serialize bytes in program order:
+// running one inside a map range stamps the map's iteration order into
+// an output no later sort can repair.
+func emissionSink(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if name, ok := pkgFuncCall(pass, call, "fmt"); ok {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "fmt." + name, true
+		}
+	}
+	if name, ok := pkgFuncCall(pass, call, "io"); ok && name == "WriteString" {
+		return "io.WriteString", true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return "", false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	qual := ""
+	if obj.Pkg() != nil {
+		qual = obj.Pkg().Path()
+	}
+	method := sel.Sel.Name
+	switch {
+	case qual == "strings" && obj.Name() == "Builder",
+		qual == "bytes" && obj.Name() == "Buffer":
+		if strings.HasPrefix(method, "Write") {
+			return obj.Name() + "." + method, true
+		}
+	case strings.HasSuffix(qual, "internal/runcache") && obj.Name() == "Hasher":
+		// Any Hasher method folds bytes into the cache key.
+		return "runcache.Hasher." + method, true
+	}
+	// hash.Hash and raw io.Writer values: a Write method on anything.
+	if method == "Write" && implementsWriter(recv) {
+		return "Write", true
+	}
+	return "", false
+}
+
+var writerSig = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(token.NoPos, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)),
+}, nil)
+
+func init() { writerSig.Complete() }
+
+func implementsWriter(t types.Type) bool {
+	if types.Implements(t, writerSig) {
+		return true
+	}
+	return types.Implements(types.NewPointer(t), writerSig)
+}
+
+// checkMapOrder walks every function and inspects `for ... range m`
+// loops over maps. Inside such a loop:
+//
+//   - an emission sink (fmt.Fprintf, Builder.WriteString, Hasher.Field,
+//     hash/io writes) is always a finding;
+//   - `x = append(x, ...)` is a finding unless x is sorted somewhere in
+//     the same function (the collect-then-sort idiom).
+func checkMapOrder(pass *Pass, file *ast.File) {
+	// Scoping: a closure inherits the enclosing function's sorted
+	// targets (appending to a captured slice that the outer function
+	// sorts is fine), but a sort inside a closure does not sanction the
+	// enclosing function's appends — the closure may never run.
+	var processFunc func(body *ast.BlockStmt, inherited map[string]bool)
+	processFunc = func(body *ast.BlockStmt, inherited map[string]bool) {
+		sorted := sortedTargets(pass, body)
+		for target := range inherited {
+			sorted[target] = true
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				processFunc(fl.Body, sorted)
+				return false
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng, sorted)
+			return true
+		})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if fd.Body != nil {
+				processFunc(fd.Body, nil)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// sortedTargets collects the canonical spelling of every expression the
+// function passes to a sort (sort.Strings(keys), sort.Slice(s.rows, ...),
+// slices.Sort(names), sort.Sort(byName(rows))). Appending to one of
+// these inside a map range is the sanctioned collect-then-sort idiom.
+// Nested function literals are skipped — they are their own scope.
+func sortedTargets(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	sorted := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sortPkg := false
+		if name, ok := pkgFuncCall(pass, call, "sort"); ok {
+			switch name {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+				sortPkg = true
+			}
+		}
+		if name, ok := pkgFuncCall(pass, call, "slices"); ok && strings.HasPrefix(name, "Sort") {
+			sortPkg = true
+		}
+		if !sortPkg {
+			return true
+		}
+		arg := call.Args[0]
+		// sort.Sort(byName(rows)) sorts rows through the adapter.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			arg = conv.Args[0]
+		}
+		sorted[exprString(arg)] = true
+		return true
+	})
+	return sorted
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sorted map[string]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope; handled by checkMapOrder
+		case *ast.RangeStmt:
+			// A nested map range is checked by its own visit from
+			// checkMapOrder's walk; descending here would double-report
+			// its sinks.
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if sink, ok := emissionSink(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s inside map iteration: emission order depends on map order; collect keys, sort, then emit", sink)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+					continue
+				}
+				target := exprString(n.Lhs[i])
+				// Only accumulation across iterations is order-sensitive:
+				// `x = append(x, ...)`. A fresh slice per iteration
+				// (`m[k] = append([]T(nil), seq...)`) copies one value
+				// and involves no cross-iteration order.
+				if exprString(call.Args[0]) != target {
+					continue
+				}
+				if sorted[target] {
+					continue
+				}
+				pass.Reportf(call.Pos(), "append to %q inside map iteration with no sort of %q in this function: element order depends on map order", target, target)
+			}
+		}
+		return true
+	})
+}
+
+// exprString renders a simple expression (ident / selector / index
+// chains) canonically for matching append targets against sort calls.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.SliceExpr:
+		// sort.SliceStable(events[processed:], ...) sorts events: for
+		// target matching a re-slice is the same backing array.
+		return exprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,25 @@
+package lint
+
+import (
+	"testing"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "flm/internal/chaos", []*Analyzer{Determinism})
+}
+
+// TestDeterminismSkipsUngatedPackages pins that the analyzer is scoped:
+// the same violations at an import path outside deterministicPkgs and
+// mapOrderPkgs produce nothing.
+func TestDeterminismSkipsUngatedPackages(t *testing.T) {
+	diags := checkSource(t, "example.com/other", `
+package other
+
+import "time"
+
+func f() time.Time { return time.Now() }
+`, []*Analyzer{Determinism})
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside gated packages, got %v", diags)
+	}
+}

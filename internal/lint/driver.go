@@ -1,0 +1,214 @@
+// Vettool and standalone drivers for the flmlint suite. Both produce
+// the same diagnostics; they differ only in how the package graph and
+// its type information arrive:
+//
+//   - RunVet implements the `go vet -vettool` protocol (the same
+//     contract x/tools' unitchecker speaks): cmd/go hands us a JSON
+//     config per package with file lists and compiler export data for
+//     every import, we type-check against that export data and print
+//     findings to stderr.
+//   - RunStandalone shells out to `go list -deps -export -json`, which
+//     builds the same export data through the go build cache, then
+//     checks every non-dependency package it returned.
+//
+// Keeping both lets `make lint` use the vet integration (per-package
+// caching, -vettool UX) while `go run ./cmd/flmlint ./...` works
+// anywhere without vet in the loop, e.g. for bisecting a finding.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for a vettool invocation
+// (see cmd/go/internal/work's vetConfig). Fields we do not consume are
+// omitted; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// RunVet processes one vet config file and returns the process exit
+// code (0 clean, 2 findings were printed to stderr, 1 internal error).
+func RunVet(cfgFile string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "flmlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "flmlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// We compute no cross-package facts, but cmd/go expects the vetx
+	// output file of every unit to exist so downstream units can read
+	// it; write an empty one before anything can fail.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "flmlint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// The path has already been mapped through ImportMap below.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	files, pkg, info, err := CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "flmlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags := RunAnalyzers(fset, files, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// listPackage is the subset of `go list -json` output the standalone
+// driver consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// RunStandalone loads the packages matching patterns via the go
+// command and runs the analyzers over each. Diagnostics go to stderr;
+// the return value is a process exit code.
+func RunStandalone(patterns []string, analyzers []*Analyzer, stderr io.Writer) int {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(stderr, "flmlint: go list: %v\n", err)
+		return 1
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(stderr, "flmlint: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Error != nil {
+			fmt.Fprintf(stderr, "flmlint: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	compilerImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	exit := 0
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		filenames := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			filenames[i] = p.Dir + string(os.PathSeparator) + f
+		}
+		goVersion := ""
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		files, pkg, info, err := CheckFiles(fset, p.ImportPath, filenames, imp, goVersion)
+		if err != nil {
+			fmt.Fprintf(stderr, "flmlint: typecheck %s: %v\n", p.ImportPath, err)
+			if exit == 0 {
+				exit = 1
+			}
+			continue
+		}
+		for _, d := range RunAnalyzers(fset, files, pkg, info, analyzers) {
+			fmt.Fprintf(stderr, "%s\n", d)
+			exit = 2
+		}
+	}
+	return exit
+}

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFingerprintFixture(t *testing.T) {
+	runFixture(t, "flm/internal/fpfix", []*Analyzer{Fingerprint})
+}
+
+// TestFingerprintCatchesDeletedFieldReference is the acceptance check
+// in executable form: the same struct is clean while the fingerprint
+// reads both fields and becomes a finding the moment one read is
+// deleted.
+func TestFingerprintCatchesDeletedFieldReference(t *testing.T) {
+	const complete = `
+package p
+
+type dev struct {
+	seed  int64
+	alpha string
+}
+
+func (d *dev) DeviceFingerprint() string {
+	return "d:" + d.alpha + string(rune(d.seed))
+}
+`
+	if diags := checkSource(t, "p", complete, []*Analyzer{Fingerprint}); len(diags) != 0 {
+		t.Fatalf("complete fingerprint flagged: %v", diags)
+	}
+
+	// Delete the d.alpha reference.
+	broken := strings.Replace(complete, `"d:" + d.alpha + string(rune(d.seed))`, `"d:" + string(rune(d.seed))`, 1)
+	diags := checkSource(t, "p", broken, []*Analyzer{Fingerprint})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "dev.alpha") {
+		t.Fatalf("expected exactly one finding for dev.alpha, got %v", diags)
+	}
+}

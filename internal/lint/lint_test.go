@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one in-memory file as a package with the
+// given import path (no imports beyond the universe and stdlib resolved
+// from source) and runs the analyzers over it.
+func checkSource(t *testing.T, importPath, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing source: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: SourceImporter(fset), Error: func(error) {}}
+	pkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking source: %v", err)
+	}
+	return RunAnalyzers(fset, []*ast.File{f}, pkg, info, analyzers)
+}
+
+// TestDirectiveValidation pins that a directive cannot silently
+// misfire: an unknown analyzer name and a missing reason are themselves
+// findings, and a reasonless directive does not suppress anything.
+func TestDirectiveValidation(t *testing.T) {
+	diags := checkSource(t, "flm/internal/sim", `
+package sim
+
+import "time"
+
+func f() {
+	//flmlint:allow nosuchanalyzer because reasons
+	_ = 0
+	//flmlint:allow flmdeterminism
+	_ = time.Now()
+}
+`, []*Analyzer{Determinism})
+
+	var malformed, missingReason, wallclock bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "flmlint" && strings.Contains(d.Message, "malformed flmlint directive"):
+			malformed = true
+		case d.Analyzer == "flmlint" && strings.Contains(d.Message, "missing its reason"):
+			missingReason = true
+		case d.Analyzer == "flmdeterminism" && strings.Contains(d.Message, "time.Now"):
+			wallclock = true
+		}
+	}
+	if !malformed || !missingReason || !wallclock {
+		t.Fatalf("want malformed-directive, missing-reason, and unsuppressed time.Now findings, got %v", diags)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("want exactly 3 findings, got %v", diags)
+	}
+}
+
+// TestDiagnosticOrdering pins the stable sort of RunAnalyzers output.
+func TestDiagnosticOrdering(t *testing.T) {
+	diags := checkSource(t, "flm/internal/sim", `
+package sim
+
+import "time"
+
+func b() { _ = time.Now() }
+
+func a() { _ = time.Now() }
+`, []*Analyzer{Determinism})
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings, got %v", diags)
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("diagnostics not sorted by line: %v", diags)
+	}
+}

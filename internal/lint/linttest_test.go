@@ -1,0 +1,156 @@
+package lint
+
+// Fixture harness in the style of x/tools' analysistest, on the
+// standard library alone: each fixture package lives under
+// testdata/src/<importpath> and marks every line that must produce a
+// finding with a trailing
+//
+//	// want `regexp`
+//
+// comment (multiple backquoted patterns allowed). The harness
+// type-checks the fixture — imports that resolve under testdata/src are
+// loaded as fixtures themselves (e.g. the flm/internal/obs stub),
+// everything else comes from the source importer — runs the analyzers
+// under test, and then requires an exact match: every diagnostic must
+// satisfy a want on its line, and every want must be consumed.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loadFixture type-checks the fixture package at testdata/src/<importPath>.
+func loadFixture(t *testing.T, fset *token.FileSet, importPath string) *fixturePkg {
+	t.Helper()
+	base := filepath.Join("testdata", "src")
+	loaded := map[string]*fixturePkg{}
+	stdlib := SourceImporter(fset)
+
+	var load func(path string) (*fixturePkg, error)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join(base, path)); err == nil {
+			p, err := load(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.pkg, nil
+		}
+		return stdlib.Import(path)
+	})
+	load = func(path string) (*fixturePkg, error) {
+		if p, ok := loaded[path]; ok {
+			return p, nil
+		}
+		dir := filepath.Join(base, path)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var filenames []string
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				filenames = append(filenames, filepath.Join(dir, e.Name()))
+			}
+		}
+		files, pkg, info, err := CheckFiles(fset, path, filenames, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		p := &fixturePkg{files: files, pkg: pkg, info: info}
+		loaded[path] = p
+		return p, nil
+	}
+
+	p, err := load(importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	return p
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantPatternRe = regexp.MustCompile("`([^`]+)`")
+
+// parseWants extracts the `// want ...` expectations from the fixture's
+// comments; the expectation is anchored to the comment's line.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				pats := wantPatternRe.FindAllStringSubmatch(c.Text[idx:], -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: want comment with no backquoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range pats {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkExpectations pairs diagnostics against wants one-to-one. The
+// pattern is matched against "message [analyzer]".
+func checkExpectations(t *testing.T, diags []Diagnostic, wants []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		full := d.Message + " [" + d.Analyzer + "]"
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(full) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func runFixture(t *testing.T, importPath string, analyzers []*Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	p := loadFixture(t, fset, importPath)
+	diags := RunAnalyzers(fset, p.files, p.pkg, p.info, analyzers)
+	checkExpectations(t, diags, parseWants(t, fset, p.files))
+}

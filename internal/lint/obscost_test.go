@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestObsCostFixture(t *testing.T) {
+	runFixture(t, "flm/internal/obsfix", []*Analyzer{ObsCost})
+}

@@ -1,0 +1,17 @@
+package chaos
+
+import "time"
+
+// A directive in the doc comment silences the whole declaration.
+//
+//flmlint:allow flmdeterminism fixture: timing here feeds a log line only
+func allowedWholeDecl() {
+	_ = time.Now()
+	_ = time.Since(time.Now())
+}
+
+func allowedSingleLine() {
+	//flmlint:allow flmdeterminism fixture: this one read is justified
+	_ = time.Now()
+	_ = time.Now() // the directive covers only the lines above // want `time\.Now in deterministic package`
+}

@@ -1,0 +1,102 @@
+// Package chaos (the fixture, not the real one) exercises
+// flmdeterminism: the import path is in deterministicPkgs, so wall
+// clock, global rand, and output-reaching map order are all findings
+// here.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"flm/internal/obs"
+)
+
+func wallClock() {
+	start := time.Now()   // want `time\.Now in deterministic package flm/internal/chaos`
+	_ = time.Since(start) // want `time\.Since in deterministic package`
+}
+
+func guardedWallClock(ctx interface{}) {
+	if obs.Enabled() {
+		_ = time.Now() // dominated by the tracing guard: ok
+	}
+	traced := obs.Enabled()
+	if traced {
+		_ = time.Now() // bool derived from obs.Enabled(): ok
+	}
+	if !traced {
+		return
+	}
+	_ = time.Now() // after the early return only the traced path remains: ok
+}
+
+func globalRand() int {
+	r := rand.New(rand.NewSource(1)) // seeded constructor: ok
+	_ = r.Intn(10)
+	return rand.Intn(10) // want `global rand\.Intn in deterministic package`
+}
+
+func emitInMapOrder(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		fmt.Fprintf(os.Stdout, "%s\n", k) // want `fmt\.Fprintf inside map iteration`
+		b.WriteString(k)                  // want `Builder\.WriteString inside map iteration`
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: ok
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func accumulateUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration with no sort`
+	}
+	return keys
+}
+
+func freshSlicePerKey(m map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(m))
+	for k, v := range m {
+		out[k] = append([]string(nil), v...) // fresh slice per key, no accumulation: ok
+	}
+	return out
+}
+
+func sortedSubslice(m map[string]int, events []string, processed int) []string {
+	for k := range m {
+		events = append(events, k) // sorted below through the re-slice: ok
+	}
+	sort.SliceStable(events[processed:], func(i, j int) bool {
+		return events[processed+i] < events[processed+j]
+	})
+	return events
+}
+
+func nestedClosureScope(m map[string]int) []string {
+	// The closure is its own scope: its sort must not sanction the outer
+	// append, and the outer function's sorts must not sanction its.
+	var outer []string
+	inner := func() []string {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k) // sorted inside the closure: ok
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	for k := range m {
+		outer = append(outer, k) // want `append to "outer" inside map iteration`
+	}
+	_ = inner
+	return outer
+}

@@ -1,0 +1,56 @@
+// Package fpfix exercises flmfingerprint: constructor-only fields of a
+// DeviceFingerprint implementation must reach the fingerprint.
+package fpfix
+
+import "fmt"
+
+// good folds all constructor state in; its memoized fp, its
+// Step-mutated round, and its func-typed builder are exempt by
+// construction (they are assigned in methods or cannot be hashed).
+type good struct {
+	seed  int64
+	alpha string
+	fp    string
+	round int
+	build func() string
+}
+
+func (d *good) DeviceFingerprint() string {
+	if d.fp == "" {
+		d.fp = fmt.Sprintf("good:%d:%s", d.seed, d.alpha)
+	}
+	return d.fp
+}
+
+func (d *good) Step() { d.round++ }
+
+// bad misses alpha: two devices differing only in alpha would share a
+// cache key. This is the acceptance case — deleting a field reference
+// from a fingerprint must fail the analyzer.
+type bad struct {
+	seed  int64
+	alpha string // want `field bad\.alpha is constructor state that never reaches DeviceFingerprint`
+}
+
+func (d *bad) DeviceFingerprint() string {
+	return fmt.Sprintf("bad:%d", d.seed)
+}
+
+// annotated documents why a field is deliberately outside the key.
+type annotated struct {
+	seed int64
+	//flmlint:allow flmfingerprint fixture: derived from seed, which is keyed
+	derived string
+}
+
+func (d *annotated) DeviceFingerprint() string {
+	return fmt.Sprintf("annotated:%d", d.seed)
+}
+
+// plain has unused fields but no DeviceFingerprint method, so the
+// analyzer has nothing to say about it.
+type plain struct {
+	x int
+}
+
+var _ = plain{}

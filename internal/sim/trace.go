@@ -27,6 +27,9 @@ var (
 // cache served the execution (hit / wait / miss / bypass / uncacheable),
 // the decision count, and — in full recording mode — the run's message
 // and byte totals from CollectStats.
+//
+//flmlint:allow flmobscost reached only from ExecuteCtx's obs.Enabled() branch
+//flmlint:allow flmdeterminism wall clock feeds span timing only, never the Run
 func executeCtxTraced(ctx context.Context, sys *System, rounds int, opts ExecuteOpts) (*Run, error) {
 	start := time.Now()
 	ctx, sp := obs.StartSpan(ctx, "sim.execute",

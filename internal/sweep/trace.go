@@ -47,6 +47,9 @@ func (wo *workerObs) fault() {
 // finish closes the worker's span with its aggregate attributes. The
 // idle time (span wall time minus busy time) is the worker's queue wait:
 // time spent blocked on claiming work rather than running trials.
+//
+//flmlint:allow flmobscost called only on the traced path, where wo is non-nil
+//flmlint:allow flmdeterminism wall clock feeds span timing only, never a result
 func (wo *workerObs) finish(span *obs.Span, started time.Time) {
 	idle := time.Since(started) - wo.busy
 	if idle < 0 {
