@@ -17,6 +17,8 @@
 #              counts carry only a few percent of GC jitter, so unlike
 #              ns/op they gate reliably even on shared runners
 # chaos        the CI smoke run: randomized adversaries, pinned seed
+# chaos-async  the adversarial-asynchrony smoke: delay schedules plus
+#              initially-dead faults, pinned to its own seed/trial pair
 # trace-smoke  run E1 under -trace, fold the JSONL with flm stats, and
 #              fail if the summary comes out empty — the end-to-end
 #              check on the observability layer
@@ -26,12 +28,14 @@ FLMLINT ?= bin/flmlint
 RACE_WORKERS ?= 4
 CHAOS_SEED ?= 1
 CHAOS_TRIALS ?= 64
+ASYNC_CHAOS_SEED ?= 7
+ASYNC_CHAOS_TRIALS ?= 48
 BENCH_BASELINE ?= BENCH_2026-08-07.json
-BENCH_GATE_ENTRIES ?= micro:timedsim-tick,micro:eig-resolve
+BENCH_GATE_ENTRIES ?= micro:timedsim-tick,micro:eig-resolve,micro:async-sched
 BENCH_GATE_THRESHOLD ?= 10
 TRACE_FILE ?= /tmp/flm-trace-smoke.jsonl
 
-.PHONY: verify verify-race lint bench bench-smoke bench-gate chaos trace-smoke
+.PHONY: verify verify-race lint bench bench-smoke bench-gate chaos chaos-async trace-smoke
 
 verify: lint
 	$(GO) build ./...
@@ -61,6 +65,9 @@ bench-gate:
 
 chaos:
 	$(GO) run ./cmd/flm chaos -seed $(CHAOS_SEED) -trials $(CHAOS_TRIALS)
+
+chaos-async:
+	$(GO) run ./cmd/flm chaos -async -deadset -seed $(ASYNC_CHAOS_SEED) -trials $(ASYNC_CHAOS_TRIALS)
 
 trace-smoke:
 	$(GO) run ./cmd/flm run -trace $(TRACE_FILE) E1 > /dev/null

@@ -1,6 +1,6 @@
 package flm
 
-// One benchmark per experiment (E1-E18) plus micro-benchmarks and
+// One benchmark per experiment (E1-E20) plus micro-benchmarks and
 // ablation benchmarks for the substrates they run on. Run with:
 //
 //	go test -bench=. -benchmem

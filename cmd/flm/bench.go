@@ -20,7 +20,7 @@ import (
 )
 
 // The bench subcommand is the repository's perf-regression tool: it runs
-// the E1-E18 experiment suite (the exact code that regenerates
+// the E1-E20 experiment suite (the exact code that regenerates
 // EXPERIMENTS.md) plus a handful of micro workloads, and writes a
 // machine-readable BENCH_<date>.json so successive PRs leave a perf
 // trajectory that can be diffed instead of guessed at.
@@ -404,6 +404,44 @@ func microBenches() []microBench {
 		}
 		return nil
 	}
+	// micro:async-sched isolates the asynchronous delivery ring: the FLP
+	// Section 4 initdead protocol on K7 t=3 under seeded delay schedules,
+	// one dead node per trial, eight distinct (seed, inputs, dead) combos
+	// so every execution is a run-cache miss. Dominated by delay-table
+	// lookups and ring-slot wiping in the executor's delivery loop.
+	asyncSched := func() error {
+		g := flm.Complete(7)
+		names := g.Names()
+		honest := flm.NewInitdead(3)
+		const maxDelay = 2
+		rounds := flm.InitdeadRounds(maxDelay)
+		for v := 0; v < 8; v++ {
+			delays := flm.SeededDelays(int64(v+1), names, rounds, maxDelay)
+			p := flm.Protocol{Builders: map[string]flm.Builder{}, Inputs: map[string]flm.Input{}}
+			var live []string
+			for i, name := range names {
+				p.Inputs[name] = flm.BoolInput((i+v)%2 == 0)
+				if i == v%7 {
+					p.Builders[name] = flm.InitiallyDead()
+				} else {
+					p.Builders[name] = honest
+					live = append(live, name)
+				}
+			}
+			sys, err := flm.NewSystem(g, p)
+			if err != nil {
+				return err
+			}
+			run, err := flm.ExecuteWith(sys, rounds, flm.ExecuteOpts{Delays: delays})
+			if err != nil {
+				return err
+			}
+			if rep := flm.CheckInitdead(run, live); !rep.OK() {
+				return fmt.Errorf("async-sched bench: seed %d: %v", v+1, rep.Err())
+			}
+		}
+		return nil
+	}
 	eigResolve := func() error {
 		g := flm.Complete(9)
 		honest := flm.NewEIG(2, g.Names())
@@ -435,5 +473,6 @@ func microBenches() []microBench {
 		}},
 		{"micro:timedsim-tick", "Theorem 8 ring of chase devices (timed tick loop)", timedTick},
 		{"micro:eig-resolve", "EIG K9 f=2, 16 input patterns (flat-tree resolve)", eigResolve},
+		{"micro:async-sched", "initdead K7 t=3 under seeded delay schedules (delivery ring)", asyncSched},
 	}
 }

@@ -21,6 +21,8 @@ func cmdChaos(args []string, out io.Writer) int {
 	timeout := fs.Duration("timeout", flm.ChaosDefaultTimeout, "per-trial wall budget")
 	workers := fs.Int("workers", 0, "parallel trials (0 = FLM_WORKERS or GOMAXPROCS)")
 	noShrink := fs.Bool("noshrink", false, "skip counterexample shrinking")
+	async := fs.Bool("async", false, "adversarial asynchrony: every panel trial runs under a seeded delay schedule (and delay rules join the shrinker)")
+	deadset := fs.Bool("deadset", false, "initially-dead fault family: seeded dead subsets plus the FLP §4 initdead protocol on both sides of n > 2t")
 	tracePath := fs.String("trace", "", "write a JSONL instrumentation trace (spans+metrics) to this file; FLM_TRACE is the env fallback")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -45,6 +47,8 @@ func cmdChaos(args []string, out io.Writer) int {
 		Timeout:  *timeout,
 		Workers:  *workers,
 		NoShrink: *noShrink,
+		Async:    *async,
+		Dead:     *deadset,
 	})
 	if err != nil {
 		fmt.Fprintf(out, "chaos: %v\n", err)

@@ -63,7 +63,7 @@ func usage(out io.Writer) {
 	fmt.Fprintln(out, `flm — Fischer-Lynch-Merritt 1985 reproduction harness
 
 commands:
-  list                 list registered experiments (E1-E18)
+  list                 list registered experiments (E1-E20)
   run <id> [<id>...]   run specific experiments
   all [-o file]        run every experiment (tee to file with -o)
   adequacy <n> <f>     adequacy report for the complete graph K_n
@@ -78,9 +78,13 @@ commands:
                        on regression when -threshold > 0), -cpuprofile and
                        -memprofile write runtime/pprof profiles
   chaos [-seed n] [-trials n] [-timeout d] [-workers n] [-noshrink]
+        [-async] [-deadset]
                        fire seeded randomized adversaries at the protocol
                        panel; violations on inadequate graphs are expected
-                       and shrunk to minimal counterexamples
+                       and shrunk to minimal counterexamples; -async adds
+                       seeded per-message delay schedules (shrunk too),
+                       -deadset adds initially-dead subsets and the FLP
+                       Section 4 initdead protocol across n > 2t
   stats <trace.jsonl>  summarize an instrumentation trace: cache hit
                        rates, sweep worker utilization, chain structure,
                        chaos outcomes, slowest spans

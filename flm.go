@@ -43,6 +43,7 @@ import (
 	"flm/internal/runcache"
 	"flm/internal/firingsquad"
 	"flm/internal/graph"
+	"flm/internal/initdead"
 	"flm/internal/signed"
 	"flm/internal/sim"
 	"flm/internal/sweep"
@@ -117,11 +118,28 @@ type (
 	Decision = sim.Decision
 )
 
-// ExecuteOpts selects what a simulator execution records. The zero value
-// is the decision-only fast mode used by large attack sweeps; use
-// FullRecording when the run feeds CheckLocality, Extract, or a Prove*
-// chain, which need the complete snapshot and edge history.
+// ExecuteOpts selects what a simulator execution records and which
+// delivery model it runs. The zero value is the decision-only fast
+// synchronous mode used by large attack sweeps; use FullRecording when
+// the run feeds CheckLocality, Extract, or a Prove* chain, which need
+// the complete snapshot and edge history, and set Delays to run under
+// an adversarial asynchronous delivery schedule.
 type ExecuteOpts = sim.ExecuteOpts
+
+// Adversarial asynchrony: deterministic per-message delay schedules.
+type (
+	// DelayRule defers one (sender, receiver, round) delivery by Extra
+	// rounds; delivery past the run's horizon is message loss.
+	DelayRule = sim.DelayRule
+	// DelaySchedule is a set of delay rules; nil or empty means the
+	// classic synchronous model.
+	DelaySchedule = sim.DelaySchedule
+)
+
+// SeededDelays derives a deterministic delay schedule from a seed: a
+// pure function of (seed, sender, receiver, round), independent of
+// iteration or scheduling order.
+var SeededDelays = sim.SeededDelays
 
 // FullRecording records snapshots and edge traffic (what Execute does).
 var FullRecording = sim.FullRecording
@@ -218,6 +236,9 @@ type (
 	ChaosFinding = chaos.Finding
 	// ChaosSchedule is one fully-determined chaos trial.
 	ChaosSchedule = chaos.Schedule
+	// ChaosGenOpts selects the generator's extended fault families
+	// (adversarial delay schedules, initially-dead subsets).
+	ChaosGenOpts = chaos.GenOpts
 )
 
 var (
@@ -225,6 +246,9 @@ var (
 	RunChaos = chaos.Run
 	// NewChaosSchedule derives trial i deterministically from a seed.
 	NewChaosSchedule = chaos.NewSchedule
+	// NewChaosScheduleWith derives trial i with extended fault families;
+	// the zero ChaosGenOpts is byte-identical to NewChaosSchedule.
+	NewChaosScheduleWith = chaos.NewScheduleWith
 	// RunChaosSchedule executes one schedule and checks its conditions.
 	RunChaosSchedule = chaos.RunSchedule
 	// ShrinkChaosSchedule minimizes a violating schedule.
@@ -246,6 +270,9 @@ var (
 	Equivocate = adversary.Equivocate
 	// Noise babbles seeded pseudo-random payloads.
 	Noise = adversary.Noise
+	// InitiallyDead returns a device that never takes a step — the
+	// weakest fault family (FLP Section 4).
+	InitiallyDead = adversary.InitiallyDead
 	// AttackPanel is the standard suite of fault strategies.
 	AttackPanel = adversary.Panel
 )
@@ -314,6 +341,32 @@ var (
 
 // Fired is the FIRE decision value.
 const Fired = firingsquad.Fired
+
+// Initially-dead consensus (the FLP Section 4 possibility baseline):
+// with at most t nodes dead from the start and n > 2t, consensus is
+// solvable even under adversarial message delays — the contrast that
+// locates the paper's Byzantine bounds.
+type (
+	// InitdeadReport holds the evaluated initially-dead consensus
+	// conditions for a run's live nodes.
+	InitdeadReport = initdead.Report
+)
+
+var (
+	// NewInitdead returns FLP Section 4 initially-dead consensus devices
+	// tolerating t initially-dead nodes on K_n with n > 2t.
+	NewInitdead = initdead.New
+	// InitdeadRounds is the simulator rounds a run needs when message
+	// delays are bounded by D extra rounds.
+	InitdeadRounds = initdead.Rounds
+	// CheckInitdead evaluates termination, agreement, and strong
+	// validity over a run's live nodes.
+	CheckInitdead = initdead.Check
+	// InitdeadPartitionDelays is the n <= 2t impossibility witness: a
+	// delay schedule that splits the nodes into two groups that decide
+	// independently.
+	InitdeadPartitionDelays = initdead.PartitionDelays
+)
 
 // Signed agreement (the Fault-axiom ablation).
 type (
@@ -466,7 +519,7 @@ type Experiment = eval.Experiment
 // ExperimentResult is the structured outcome of one experiment.
 type ExperimentResult = eval.Result
 
-// Experiments returns the full experiment registry (E1-E18), one per
+// Experiments returns the full experiment registry (E1-E20), one per
 // theorem, corollary group, or tightness demonstration.
 func Experiments() []Experiment { return eval.Registry() }
 

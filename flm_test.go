@@ -84,7 +84,7 @@ func TestPublicDolevOverlay(t *testing.T) {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if got := len(Experiments()); got != 18 {
+	if got := len(Experiments()); got != 20 {
 		t.Errorf("registry has %d experiments", got)
 	}
 	e, ok := FindExperiment("E5")

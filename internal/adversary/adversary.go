@@ -341,6 +341,34 @@ func (d *mirrorDevice) Snapshot() string {
 
 func (d *mirrorDevice) Output() (sim.Decision, bool) { return sim.Decision{}, false }
 
+// deadDevice is an initially-dead process: it never takes a step — no
+// sends, no decisions, constant state — from before round 0. Unlike a
+// crash at round 0 (which still executes its round-0 Step internally),
+// a dead node is indistinguishable from a node that was never started,
+// which is exactly the FLP Section 4 fault family: failures that happen
+// before the protocol begins.
+type deadDevice struct{}
+
+var _ sim.Device = deadDevice{}
+var _ sim.Fingerprinter = deadDevice{}
+
+// DeviceFingerprint is constant: death has no parameters.
+func (deadDevice) DeviceFingerprint() string { return "adv/dead" }
+
+// InitiallyDead returns a builder for a process that fails before the
+// protocol starts: it never sends, never decides, and its state never
+// changes.
+func InitiallyDead() sim.Builder {
+	return func(self string, neighbors []string, input sim.Input) sim.Device {
+		return deadDevice{}
+	}
+}
+
+func (deadDevice) Init(self string, neighbors []string, input sim.Input) {}
+func (deadDevice) Step(round int, inbox sim.Inbox) sim.Outbox           { return nil }
+func (deadDevice) Snapshot() string                                     { return "dead" }
+func (deadDevice) Output() (sim.Decision, bool)                         { return sim.Decision{}, false }
+
 // Strategy couples a display name with a way to corrupt a given honest
 // builder, so protocol tests can sweep a whole panel.
 type Strategy struct {

@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"flm/internal/sim"
+)
+
+// asyncOpts is the generator mode of the pinned async smoke (CI's
+// second chaos job and E20).
+var asyncOpts = GenOpts{Async: true, Dead: true}
+
+// TestZeroOptsMatchesNewSchedule: GenOpts{} must be byte-identical to
+// the historical generator — the guarantee that keeps every pinned
+// sync seed (CI smoke, E18, this package's tests) stable.
+func TestZeroOptsMatchesNewSchedule(t *testing.T) {
+	for i := 0; i < 128; i++ {
+		a := NewSchedule(pinnedSeed, i)
+		b := NewScheduleWith(pinnedSeed, i, GenOpts{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: zero-opts schedule diverged from NewSchedule:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestAsyncScheduleDeterminism: extended schedules are pure functions
+// of (seed, index, opts) too.
+func TestAsyncScheduleDeterminism(t *testing.T) {
+	sawDelays, sawInitdead, sawDead := false, false, false
+	for i := 0; i < 128; i++ {
+		a := NewScheduleWith(AsyncSmokeSeed, i, asyncOpts)
+		b := NewScheduleWith(AsyncSmokeSeed, i, asyncOpts)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d async schedules diverge:\n%+v\n%+v", i, a, b)
+		}
+		if len(a.Delays) > 0 {
+			sawDelays = true
+		}
+		if a.Protocol == "initdead" {
+			sawInitdead = true
+			if a.Adequate != (a.N > 2*a.F) {
+				t.Errorf("trial %d: initdead adequacy misclassified: n=%d t=%d adequate=%v",
+					i, a.N, a.F, a.Adequate)
+			}
+			if len(a.Actions) > a.F {
+				t.Errorf("trial %d: %d dead nodes exceeds budget t=%d", i, len(a.Actions), a.F)
+			}
+			for _, act := range a.Actions {
+				if act.Strategy != "dead" {
+					t.Errorf("trial %d: initdead trial drew strategy %q", i, act.Strategy)
+				}
+				sawDead = true
+			}
+		} else if len(a.Delays) > 0 && a.Adequate {
+			t.Errorf("trial %d: delayed sync-panel trial still classified adequate", i)
+		}
+	}
+	if !sawDelays || !sawInitdead || !sawDead {
+		t.Fatalf("generator coverage hole: delays=%v initdead=%v dead=%v", sawDelays, sawInitdead, sawDead)
+	}
+}
+
+// TestAsyncPanelPinned pins the async smoke pair used by CI and E20:
+// all adequate configurations (including every n > 2t initdead trial,
+// dead subsets and bounded delays included) stay green, the inadequate
+// side produces findings, and every finding shrinks to a schedule that
+// still violates.
+func TestAsyncPanelPinned(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Seed: AsyncSmokeSeed, Trials: AsyncSmokeTrials, Async: true, Dead: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("unexpected failures:\n%s", rep.Render())
+	}
+	if len(rep.Expected) == 0 {
+		t.Fatal("no findings; the async panel lost its teeth")
+	}
+	sawInitdeadFinding, sawDelayFinding := false, false
+	for _, f := range rep.Expected {
+		if f.Schedule.Protocol == "initdead" {
+			sawInitdeadFinding = true
+		}
+		if len(f.Schedule.Delays) > 0 {
+			sawDelayFinding = true
+		}
+		if f.Shrunk == nil {
+			t.Errorf("trial %d violation was not shrunk", f.Trial)
+			continue
+		}
+		if !violates(*f.Shrunk) {
+			t.Errorf("trial %d shrunk schedule no longer violates: %s", f.Trial, f.Shrunk.Describe())
+		}
+		if len(f.Shrunk.Delays) > len(f.Schedule.Delays) {
+			t.Errorf("trial %d shrink grew the delay schedule: %d > %d rules",
+				f.Trial, len(f.Shrunk.Delays), len(f.Schedule.Delays))
+		}
+	}
+	if !sawInitdeadFinding {
+		t.Error("pinned async window produced no initdead finding")
+	}
+	if !sawDelayFinding {
+		t.Error("pinned async window produced no delay-schedule finding")
+	}
+}
+
+// TestAsyncReportDeterministicAcrossWorkers: the full async report —
+// shrinking included — is byte-identical at any fan-out.
+func TestAsyncReportDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		rep, err := Run(context.Background(), Config{
+			Seed: AsyncSmokeSeed, Trials: AsyncSmokeTrials, Workers: workers, Async: true, Dead: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Render()
+	}
+	if one, four := render(1), render(4); one != four {
+		t.Fatalf("async reports diverge across worker counts:\n--- 1 worker ---\n%s--- 4 workers ---\n%s", one, four)
+	}
+}
+
+// violatingSchedules collects violating schedules from a generator
+// window, capped.
+func violatingSchedules(t *testing.T, seed int64, o GenOpts, window, max int) []Schedule {
+	t.Helper()
+	var out []Schedule
+	for i := 0; i < window && len(out) < max; i++ {
+		s := NewScheduleWith(seed, i, o)
+		if violates(s) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		t.Skip("no violating schedule in the window")
+	}
+	return out
+}
+
+// TestShrinkIdempotent: shrinking a shrunk schedule is a no-op, for
+// both the Byzantine panel and delay-schedule counterexamples. A
+// second shrink that finds more to remove would mean the first pass
+// stopped short of its fixpoint.
+func TestShrinkIdempotent(t *testing.T) {
+	modes := []struct {
+		name string
+		seed int64
+		opts GenOpts
+	}{
+		{"byzantine", pinnedSeed, GenOpts{}},
+		{"async", AsyncSmokeSeed, asyncOpts},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			for _, s := range violatingSchedules(t, mode.seed, mode.opts, 64, 3) {
+				once, ok := Shrink(s)
+				if !ok {
+					t.Fatal("violating schedule did not shrink")
+				}
+				twice, ok := Shrink(once)
+				if !ok {
+					t.Fatal("shrunk schedule no longer violates")
+				}
+				if !reflect.DeepEqual(once, twice) {
+					t.Errorf("shrink not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
+				}
+			}
+		})
+	}
+}
+
+// TestShrinkDelayMinimal: a shrunk delay schedule is 1-minimal —
+// dropping any remaining rule, or weakening any remaining rule's extra
+// delay, loses the violation.
+func TestShrinkDelayMinimal(t *testing.T) {
+	checked := 0
+	for i := 0; i < 64 && checked < 3; i++ {
+		s := NewScheduleWith(AsyncSmokeSeed, i, asyncOpts)
+		if len(s.Delays) == 0 || !violates(s) {
+			continue
+		}
+		shrunk, ok := Shrink(s)
+		if !ok {
+			t.Fatalf("trial %d violates but Shrink disagreed", i)
+		}
+		for j := range shrunk.Delays {
+			cand := shrunk
+			cand.Delays = append(append([]sim.DelayRule(nil), shrunk.Delays[:j]...), shrunk.Delays[j+1:]...)
+			if violates(cand) {
+				t.Errorf("trial %d not 1-minimal: dropping delay rule %d still violates", i, j)
+			}
+			for extra := shrunk.Delays[j].Extra - 1; extra >= 1; extra-- {
+				cand := shrunk
+				cand.Delays = append([]sim.DelayRule(nil), shrunk.Delays...)
+				cand.Delays[j].Extra = extra
+				if violates(cand) {
+					t.Errorf("trial %d not 1-minimal: weakening delay rule %d to +%d still violates",
+						i, j, extra)
+				}
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no violating delay schedule in the pinned window")
+	}
+}

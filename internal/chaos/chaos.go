@@ -38,7 +38,21 @@ type Config struct {
 	Timeout  time.Duration // per-trial wall budget (0 = DefaultTimeout)
 	Workers  int           // sweep fan-out (0 = FLM_WORKERS / GOMAXPROCS)
 	NoShrink bool          // skip counterexample shrinking
+	Async    bool          // adversarial delay schedules (see GenOpts.Async)
+	Dead     bool          // initially-dead faults + initdead protocol (see GenOpts.Dead)
 }
+
+// Pinned smoke parameters. The CI chaos smoke job, the E18/E20
+// experiments, and the pinned regression tests in this package must all
+// use these exact values — internal/eval's ci_test cross-checks the
+// workflow file against them so a drift can never be silent.
+const (
+	SmokeSeed   int64 = 1
+	SmokeTrials       = 64
+
+	AsyncSmokeSeed   int64 = 7
+	AsyncSmokeTrials       = 48
+)
 
 // DefaultTimeout bounds one trial's wall time; generous next to the
 // microseconds a healthy trial takes, tight enough that a hung device
@@ -59,6 +73,8 @@ type Finding struct {
 type Report struct {
 	Seed       int64
 	Trials     int
+	Async      bool // the run drew adversarial delay schedules
+	Dead       bool // the run drew initially-dead faults + initdead trials
 	Green      int
 	Expected   []Finding // violations on inadequate configurations
 	Unexpected []Finding // violations on adequate configurations + engine faults
@@ -90,7 +106,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	schedules := make([]Schedule, cfg.Trials)
 	for i := range schedules {
-		schedules[i] = NewSchedule(cfg.Seed, i)
+		schedules[i] = NewScheduleWith(cfg.Seed, i, GenOpts{Async: cfg.Async, Dead: cfg.Dead})
 	}
 	outcomes, errs := sweep.Isolated(ctx, cfg.Trials, sweep.Opts{Workers: cfg.Workers, Timeout: timeout},
 		func(i int) (Outcome, error) {
@@ -99,7 +115,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			return RunSchedule(schedules[i]), nil
 		})
 
-	rep := &Report{Seed: cfg.Seed, Trials: cfg.Trials}
+	rep := &Report{Seed: cfg.Seed, Trials: cfg.Trials, Async: cfg.Async, Dead: cfg.Dead}
 	for i := 0; i < cfg.Trials; i++ {
 		s := schedules[i]
 		outcome := "green"
@@ -198,7 +214,9 @@ func recordTrial(ctx context.Context, i int, s Schedule, outcome, detail string,
 	obs.Event(ctx, "chaos.trial", attrs...)
 }
 
-// Describe renders a schedule on one line.
+// Describe renders a schedule on one line. Synchronous schedules keep
+// the historical format; a delay schedule appends its rule count and
+// worst extra delay (the full rule list is data, not display).
 func (s Schedule) Describe() string {
 	acts := make([]string, len(s.Actions))
 	for i, a := range s.Actions {
@@ -208,15 +226,38 @@ func (s Schedule) Describe() string {
 	if s.Adequate {
 		adequacy = "adequate"
 	}
-	return fmt.Sprintf("%s on K%d f=%d (%s) faults=[%s]",
+	desc := fmt.Sprintf("%s on K%d f=%d (%s) faults=[%s]",
 		s.Protocol, s.N, s.F, adequacy, strings.Join(acts, ","))
+	if len(s.Delays) > 0 {
+		worst := 0
+		for _, r := range s.Delays {
+			if r.Extra > worst {
+				worst = r.Extra
+			}
+		}
+		desc += fmt.Sprintf(" delays=[%d rules, max +%d]", len(s.Delays), worst)
+	}
+	return desc
 }
 
-// Render formats the report for the CLI and the E18 experiment.
+// modeFlags renders the CLI flags that reproduce this report's
+// generator mode ("" for the classic synchronous panel).
+func (r *Report) modeFlags() string {
+	flags := ""
+	if r.Async {
+		flags += " -async"
+	}
+	if r.Dead {
+		flags += " -deadset"
+	}
+	return flags
+}
+
+// Render formats the report for the CLI and the E18/E20 experiments.
 func (r *Report) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos: seed=%d trials=%d green=%d expected-violations=%d unexpected=%d\n",
-		r.Seed, r.Trials, r.Green, len(r.Expected), len(r.Unexpected))
+	fmt.Fprintf(&b, "chaos:%s seed=%d trials=%d green=%d expected-violations=%d unexpected=%d\n",
+		r.modeFlags(), r.Seed, r.Trials, r.Green, len(r.Expected), len(r.Unexpected))
 	byProto := map[string]int{}
 	for _, f := range r.Expected {
 		byProto[f.Schedule.Protocol]++
@@ -236,11 +277,16 @@ func (r *Report) Render() string {
 	for _, f := range r.Expected {
 		fmt.Fprintf(&b, "  [expected] trial %d: %s\n             %s\n", f.Trial, f.Schedule.Describe(), f.Violation)
 		if f.Shrunk != nil {
-			fmt.Fprintf(&b, "             shrunk to %d faulty action(s): %s\n",
-				len(f.Shrunk.Actions), f.Shrunk.Describe())
+			if len(f.Schedule.Delays) > 0 {
+				fmt.Fprintf(&b, "             shrunk to %d faulty action(s) + %d delay rule(s): %s\n",
+					len(f.Shrunk.Actions), len(f.Shrunk.Delays), f.Shrunk.Describe())
+			} else {
+				fmt.Fprintf(&b, "             shrunk to %d faulty action(s): %s\n",
+					len(f.Shrunk.Actions), f.Shrunk.Describe())
+			}
 		}
-		fmt.Fprintf(&b, "             reproduce: flm chaos -seed %d -trials %d  (trial %d)\n",
-			r.Seed, r.Trials, f.Trial)
+		fmt.Fprintf(&b, "             reproduce: flm chaos%s -seed %d -trials %d  (trial %d)\n",
+			r.modeFlags(), r.Seed, r.Trials, f.Trial)
 	}
 	for _, f := range r.Unexpected {
 		fmt.Fprintf(&b, "  [UNEXPECTED] trial %d: %s\n               %s\n", f.Trial, f.Schedule.Describe(), f.Violation)

@@ -10,8 +10,10 @@ import (
 
 // pinnedSeed is the seed used by the CI smoke job and E18; the tests
 // below pin its behavior so a panel change that silently flips the
-// adequate/inadequate balance is caught here, not in CI.
-const pinnedSeed = 1
+// adequate/inadequate balance is caught here, not in CI. It aliases the
+// exported smoke constant so the package cannot drift from the values
+// CI and internal/eval assert against.
+const pinnedSeed = SmokeSeed
 
 // TestScheduleDeterminism: a schedule is a pure function of
 // (seed, index) — regenerating it must give a deep-equal value.
@@ -60,7 +62,7 @@ func errText(err error) string {
 // produce violations, and each violation shrinks to a schedule that
 // still violates with at most the reported number of faulty actions.
 func TestPanelSeed1(t *testing.T) {
-	rep, err := Run(context.Background(), Config{Seed: pinnedSeed, Trials: 64})
+	rep, err := Run(context.Background(), Config{Seed: pinnedSeed, Trials: SmokeTrials})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestPanelSeed1(t *testing.T) {
 // nothing but the printed (seed, trial) pair — regenerate the schedule
 // and re-run it.
 func TestReproduceFromSeed(t *testing.T) {
-	rep, err := Run(context.Background(), Config{Seed: pinnedSeed, Trials: 64, NoShrink: true})
+	rep, err := Run(context.Background(), Config{Seed: pinnedSeed, Trials: SmokeTrials, NoShrink: true})
 	if err != nil {
 		t.Fatal(err)
 	}

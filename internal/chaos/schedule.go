@@ -10,6 +10,7 @@ import (
 	"flm/internal/approx"
 	"flm/internal/byzantine"
 	"flm/internal/graph"
+	"flm/internal/initdead"
 	"flm/internal/sim"
 )
 
@@ -24,9 +25,10 @@ type Action struct {
 }
 
 // Schedule is one fully-determined chaos trial: protocol instance, graph
-// size, fault budget, per-node inputs, and the faulty actions. Running a
-// schedule involves no randomness beyond what the schedule itself
-// encodes, which is what makes seed-reproduction and shrinking sound.
+// size, fault budget, per-node inputs, the faulty actions, and (in async
+// mode) the adversarial delay schedule. Running a schedule involves no
+// randomness beyond what the schedule itself encodes, which is what
+// makes seed-reproduction and shrinking sound.
 type Schedule struct {
 	Protocol string
 	N        int  // complete graph K_N
@@ -36,6 +38,16 @@ type Schedule struct {
 	Device   string
 	Inputs   []string // canonical inputs in graph.Complete(N).Names() order
 	Actions  []Action
+	// Delays is the adversarial delay schedule ruleset (empty =
+	// synchronous delivery). Delay rules are first-class attack
+	// schedule entries: the shrinker minimizes them exactly like
+	// Byzantine actions.
+	Delays []sim.DelayRule
+	// MaxDelay is the per-message delay bound the generator drew the
+	// rules under; it sizes the round budget for delay-tolerant
+	// protocols and is informational for the synchronous panel (whose
+	// round structure any delay may break).
+	MaxDelay int
 }
 
 // Outcome is the result of executing one schedule.
@@ -127,17 +139,43 @@ var panel = []protocol{
 // strictly smaller than any input spread the generator can produce.
 const approxAveragingRounds = 4
 
+// GenOpts selects the extended schedule generators. The zero value is
+// the classic synchronous panel: NewScheduleWith(seed, i, GenOpts{}) is
+// byte-identical to NewSchedule(seed, i), which keeps every pinned
+// seed reproducible across releases.
+type GenOpts struct {
+	// Async draws a seeded adversarial delay schedule for every panel
+	// trial (and bounded delays for the delay-tolerant protocols).
+	Async bool
+	// Dead mixes in the initially-dead fault family and the FLP §4
+	// initdead consensus protocol on both sides of its n > 2t
+	// threshold.
+	Dead bool
+}
+
 // NewSchedule derives trial i of a chaos run deterministically from the
 // master seed. The derivation depends only on (seed, i) — never on
 // worker count or timing — so a schedule is reproducible from the
 // printed seed alone.
 func NewSchedule(seed int64, i int) Schedule {
+	return NewScheduleWith(seed, i, GenOpts{})
+}
+
+// NewScheduleWith is NewSchedule with the extended generators enabled.
+// Extended trials skip the timed clock-synchronization model: delay
+// schedules act on the round-based executor, and the timed model
+// carries its own native notion of message timing.
+func NewScheduleWith(seed int64, i int, o GenOpts) Schedule {
 	const mix = int64(-0x61C8864680B583EB) // golden-ratio mixer (0x9E37...15 as int64)
 	rng := rand.New(rand.NewSource(seed ^ (mix * int64(i+1))))
+	extended := o.Async || o.Dead
 	// One slot in five is clock synchronization (the timed model); the
 	// rest sweep the synchronous panel.
-	if rng.Intn(5) == 0 {
+	if !extended && rng.Intn(5) == 0 {
 		return newClockSchedule(rng)
+	}
+	if o.Dead && rng.Intn(3) == 0 {
+		return newInitdeadSchedule(rng, o)
 	}
 	p := panel[rng.Intn(len(panel))]
 	size := p.sizes[rng.Intn(len(p.sizes))]
@@ -166,6 +204,64 @@ func NewSchedule(seed int64, i int) Schedule {
 		})
 	}
 	sortActions(s.Actions)
+	if o.Async {
+		// The panel protocols assume synchronous delivery, so ANY delay
+		// schedule voids their resilience guarantee: delayed trials are
+		// classified inadequate — violations become expected findings
+		// (and survivals stay unremarkable greens), never CI failures.
+		s.MaxDelay = 1 + rng.Intn(2)
+		s.Delays = sim.SeededDelays(rng.Int63(), names, s.Rounds, s.MaxDelay).Rules
+		s.Adequate = false
+	}
+	return s
+}
+
+// initdeadSizes spans both sides of the n > 2t threshold.
+var initdeadSizes = []struct{ n, t int }{{3, 1}, {4, 2}, {5, 2}, {6, 3}, {7, 3}}
+
+// newInitdeadSchedule draws one FLP §4 initially-dead consensus trial:
+// 0..t dead nodes, and — in async mode — either bounded seeded delays
+// (under which an n > 2t instance must stay green) or, on the
+// inadequate sizes, the unbounded partition schedule with group-split
+// inputs that the impossibility argument predicts will disagree.
+func newInitdeadSchedule(rng *rand.Rand, o GenOpts) Schedule {
+	size := initdeadSizes[rng.Intn(len(initdeadSizes))]
+	g := graph.Complete(size.n)
+	names := g.Names()
+	s := Schedule{
+		Protocol: "initdead",
+		N:        size.n,
+		F:        size.t,
+		Adequate: size.n > 2*size.t,
+		Inputs:   make([]string, size.n),
+	}
+	if o.Async {
+		s.MaxDelay = 1 + rng.Intn(2)
+	}
+	s.Rounds = initdead.Rounds(s.MaxDelay)
+	for j := range s.Inputs {
+		s.Inputs[j] = sim.EncodeBool(rng.Intn(2) == 1)
+	}
+	k := rng.Intn(size.t + 1) // 0..t initially-dead nodes
+	perm := rng.Perm(size.n)
+	for j := 0; j < k; j++ {
+		s.Actions = append(s.Actions, Action{Node: names[perm[j]], Strategy: "dead"})
+	}
+	sortActions(s.Actions)
+	if o.Async {
+		if !s.Adequate && rng.Intn(2) == 0 {
+			// The impossibility witness: partition the nodes, give the
+			// groups different inputs, delay cross-group traffic past
+			// the horizon.
+			s.Delays = initdead.PartitionDelays(names, size.t, s.Rounds).Rules
+			s.MaxDelay = s.Rounds
+			for j := range s.Inputs {
+				s.Inputs[j] = sim.EncodeBool(j >= size.n-size.t)
+			}
+		} else {
+			s.Delays = sim.SeededDelays(rng.Int63(), names, s.Rounds, s.MaxDelay).Rules
+		}
+	}
 	return s
 }
 
@@ -173,11 +269,23 @@ func sortActions(acts []Action) {
 	sort.Slice(acts, func(i, j int) bool { return acts[i].Node < acts[j].Node })
 }
 
+// delaysOf adapts the schedule's delay rules for the executor; empty
+// rule sets run synchronously.
+func delaysOf(s Schedule) *sim.DelaySchedule {
+	if len(s.Delays) == 0 {
+		return nil
+	}
+	return &sim.DelaySchedule{Rules: s.Delays}
+}
+
 // RunSchedule executes one schedule and checks its protocol's
 // correctness conditions. It is a pure function of the schedule.
 func RunSchedule(s Schedule) Outcome {
 	if s.Protocol == "clocksync" {
 		return runClockSchedule(s)
+	}
+	if s.Protocol == "initdead" {
+		return runInitdeadSchedule(s)
 	}
 	p, ok := findProtocol(s.Protocol)
 	if !ok {
@@ -206,7 +314,7 @@ func RunSchedule(s Schedule) Outcome {
 	if err != nil {
 		return Outcome{EngineErr: err}
 	}
-	run, err := sim.ExecuteWith(sys, s.Rounds, sim.ExecuteOpts{})
+	run, err := sim.ExecuteWith(sys, s.Rounds, sim.ExecuteOpts{Delays: delaysOf(s)})
 	if err != nil {
 		return Outcome{EngineErr: err}
 	}
@@ -217,6 +325,48 @@ func RunSchedule(s Schedule) Outcome {
 		}
 	}
 	return Outcome{Violation: p.check(run, correct)}
+}
+
+// runInitdeadSchedule executes one initially-dead consensus trial.
+// Every faulty action, whatever its strategy label, renders its node
+// initially dead: the fault family is the protocol's premise, and
+// keeping the mapping total means a shrinker rewrite can never turn an
+// initdead trial into an unrunnable one.
+func runInitdeadSchedule(s Schedule) Outcome {
+	g := graph.Complete(s.N)
+	names := g.Names()
+	if len(s.Inputs) != len(names) {
+		return Outcome{EngineErr: fmt.Errorf("chaos: %d inputs for %d nodes", len(s.Inputs), len(names))}
+	}
+	honest := initdead.New(s.F)
+	proto := sim.Protocol{
+		Builders: make(map[string]sim.Builder, len(names)),
+		Inputs:   make(map[string]sim.Input, len(names)),
+	}
+	for j, name := range names {
+		proto.Builders[name] = honest
+		proto.Inputs[name] = sim.Input(s.Inputs[j])
+	}
+	dead := make(map[string]bool, len(s.Actions))
+	for _, a := range s.Actions {
+		proto.Builders[a.Node] = adversary.InitiallyDead()
+		dead[a.Node] = true
+	}
+	sys, err := sim.NewSystem(g, proto)
+	if err != nil {
+		return Outcome{EngineErr: err}
+	}
+	run, err := sim.ExecuteWith(sys, s.Rounds, sim.ExecuteOpts{Delays: delaysOf(s)})
+	if err != nil {
+		return Outcome{EngineErr: err}
+	}
+	var live []string
+	for _, name := range names {
+		if !dead[name] {
+			live = append(live, name)
+		}
+	}
+	return Outcome{Violation: initdead.Check(run, live).Err()}
 }
 
 func findProtocol(name string) (protocol, bool) {
@@ -235,6 +385,8 @@ func corrupt(a Action, p protocol, honest sim.Builder, rounds int) sim.Builder {
 	switch a.Strategy {
 	case "silent":
 		return adversary.Silent()
+	case "dead":
+		return adversary.InitiallyDead()
 	case "crash":
 		return adversary.Crash(honest, a.Round)
 	case "omit":

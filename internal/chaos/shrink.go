@@ -1,19 +1,24 @@
 package chaos
 
-import "flm/internal/obs"
+import (
+	"flm/internal/obs"
+	"flm/internal/sim"
+)
 
 // Shrinking: a violating schedule found by the randomized generator may
 // carry faulty actions that contribute nothing to the violation (and, at
 // f = 2, more faulty nodes than necessary). Shrink applies greedy
-// delta-debugging over the action list and the strategy lattice until the
-// schedule is 1-minimal: removing any remaining action, or weakening any
-// remaining strategy, loses the violation.
+// delta-debugging over the action list, the strategy lattice, and the
+// delay-rule list until the schedule is 1-minimal: removing any
+// remaining action or delay rule, or weakening any remaining strategy,
+// loses the violation.
 
 // weakerThan orders strategies by attack power for shrinking purposes:
 // every strategy may be weakened to silence (pure omission), and crash is
 // the halfway point for the wrapping strategies. The shrunk
 // counterexample then uses the least Byzantine behavior that still
-// breaks the condition.
+// breaks the condition. "dead" (initially-dead) is already the weakest
+// fault of its family and has no entry.
 var weakerThan = map[string][]string{
 	"crash":      {"silent"},
 	"omit":       {"silent"},
@@ -73,6 +78,71 @@ func Shrink(s Schedule) (Schedule, bool) {
 				}
 			}
 		}
+		if changed {
+			continue
+		}
+		// Pass 3: drop delay rules. Seeded schedules carry hundreds of
+		// rules, so removal runs coarse-to-fine (halves, then quarters,
+		// ... then singles) instead of one-at-a-time; the chunk size
+		// only shrinks when no window of that size can be removed, so
+		// the pass still terminates at 1-minimality: when it finishes,
+		// no single remaining rule can be dropped.
+		if dropped, ok := shrinkDelayRules(cur); ok {
+			cur = dropped
+			changed = true
+			continue
+		}
+		// Pass 4: weaken surviving delay rules toward synchrony by
+		// decrementing their extra delay.
+		for i := 0; i < len(cur.Delays) && !changed; i++ {
+			for extra := cur.Delays[i].Extra - 1; extra >= 1; extra-- {
+				cand := cur
+				cand.Delays = append([]sim.DelayRule(nil), cur.Delays...)
+				cand.Delays[i].Extra = extra
+				if violates(cand) {
+					cur = cand
+					changed = true
+					break
+				}
+			}
+		}
 	}
 	return cur, true
+}
+
+// shrinkDelayRules removes every delay rule not needed for the
+// violation, ddmin-style. It reports ok=false when nothing could be
+// removed.
+func shrinkDelayRules(s Schedule) (Schedule, bool) {
+	if len(s.Delays) == 0 {
+		return s, false
+	}
+	cur := s
+	removedAny := false
+	for chunk := len(cur.Delays); chunk >= 1; {
+		if chunk > len(cur.Delays) {
+			chunk = len(cur.Delays)
+		}
+		progressed := false
+		for start := 0; start < len(cur.Delays); {
+			end := start + chunk
+			if end > len(cur.Delays) {
+				end = len(cur.Delays)
+			}
+			cand := cur
+			cand.Delays = append(append([]sim.DelayRule(nil), cur.Delays[:start]...), cur.Delays[end:]...)
+			if violates(cand) {
+				cur = cand
+				removedAny = true
+				progressed = true
+				// Same start now addresses the next window.
+			} else {
+				start = end
+			}
+		}
+		if !progressed {
+			chunk /= 2
+		}
+	}
+	return cur, removedAny
 }

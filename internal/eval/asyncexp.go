@@ -1,0 +1,298 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"flm/internal/adversary"
+	"flm/internal/chaos"
+	"flm/internal/graph"
+	"flm/internal/initdead"
+	"flm/internal/sim"
+	"flm/internal/sweep"
+)
+
+// E19 parameters: the possibility side sweeps every initially-dead
+// subset of size <= t exhaustively, first synchronously and then under
+// e19DelaySeeds seeded adversarial delay schedules with per-message
+// extra delay up to e19MaxDelay.
+const (
+	e19DelaySeeds = 2
+	e19MaxDelay   = 2
+)
+
+// E20 parameters: the pinned async smoke pair shared by the CI
+// async-chaos job (`flm chaos -async -deadset -trials 48 -seed 7`) and
+// the chaos package's pinned tests.
+const (
+	e20Seed   = chaos.AsyncSmokeSeed
+	e20Trials = chaos.AsyncSmokeTrials
+)
+
+// e20Opts is the generator mode of the pinned async smoke.
+var e20Opts = chaos.GenOpts{Async: true, Dead: true}
+
+// runInitdead executes the FLP Section 4 protocol on K_n with the given
+// dead set, inputs (in sorted-name order), and delay schedule, and
+// returns the run plus the live-node list.
+func runInitdead(n, t int, dead map[string]bool, inputs []string, delays *sim.DelaySchedule, rounds int) (*sim.Run, []string, error) {
+	g := graph.Complete(n)
+	honest := initdead.New(t)
+	p := sim.Protocol{
+		Builders: make(map[string]sim.Builder, n),
+		Inputs:   make(map[string]sim.Input, n),
+	}
+	var live []string
+	for i, name := range g.Names() {
+		p.Inputs[name] = sim.Input(inputs[i])
+		if dead[name] {
+			p.Builders[name] = adversary.InitiallyDead()
+		} else {
+			p.Builders[name] = honest
+			live = append(live, name)
+		}
+	}
+	sys, err := sim.NewSystem(g, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	run, err := sim.ExecuteWith(sys, rounds, sim.ExecuteOpts{Delays: delays})
+	if err != nil {
+		return nil, nil, err
+	}
+	return run, live, nil
+}
+
+// deadSubsetsUpTo enumerates every subset of names with size <= k, in
+// mask order (deterministic).
+func deadSubsetsUpTo(names []string, k int) []map[string]bool {
+	var out []map[string]bool
+	n := len(names)
+	for mask := 0; mask < 1<<n; mask++ {
+		sub := map[string]bool{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub[names[i]] = true
+			}
+		}
+		if len(sub) <= k {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+func deadNames(dead map[string]bool) string {
+	names := make([]string, 0, len(dead))
+	for name := range dead {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+func alternatingBits(n int) []string {
+	in := make([]string, n)
+	for i := range in {
+		in[i] = fmt.Sprint(i % 2)
+	}
+	return in
+}
+
+// RunE19 charts the initially-dead possibility frontier. On the
+// possible side (n > 2t) it runs the FLP Section 4 protocol against
+// EVERY initially-dead subset of size <= t — synchronously and under
+// seeded adversarial delay schedules — and requires termination,
+// agreement, and strong validity on each run. On the impossible side
+// (n = 2t) it exhibits the matching counterexample: a partition delay
+// schedule that defers all cross-group traffic past the round horizon,
+// under which the two halves decide their own (different) inputs.
+func RunE19() (*Result, error) {
+	type sizeRow struct {
+		n, t                           int
+		subsets, syncRuns, delayedRuns int
+	}
+	possible := []struct{ n, t int }{{3, 1}, {5, 2}, {7, 3}}
+	rows, err := sweep.Map(len(possible), func(i int) (sizeRow, error) {
+		size := possible[i]
+		names := graph.Complete(size.n).Names()
+		row := sizeRow{n: size.n, t: size.t}
+		for _, dead := range deadSubsetsUpTo(names, size.t) {
+			row.subsets++
+			run, live, err := runInitdead(size.n, size.t, dead, alternatingBits(size.n), nil, initdead.Rounds(0))
+			if err != nil {
+				return row, err
+			}
+			if rep := initdead.Check(run, live); !rep.OK() {
+				return row, fmt.Errorf("n=%d t=%d dead=%s synchronous: %w",
+					size.n, size.t, deadNames(dead), rep.Err())
+			}
+			row.syncRuns++
+			rounds := initdead.Rounds(e19MaxDelay)
+			for seed := int64(1); seed <= e19DelaySeeds; seed++ {
+				delays := sim.SeededDelays(seed, names, rounds, e19MaxDelay)
+				run, live, err := runInitdead(size.n, size.t, dead, alternatingBits(size.n), delays, rounds)
+				if err != nil {
+					return row, err
+				}
+				if rep := initdead.Check(run, live); !rep.OK() {
+					return row, fmt.Errorf("n=%d t=%d dead=%s delay seed %d: %w",
+						size.n, size.t, deadNames(dead), seed, rep.Err())
+				}
+				row.delayedRuns++
+			}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	frontier := &Table{
+		Title:   "n > 2t: the FLP Section 4 protocol decides under every initially-dead subset of size <= t",
+		Columns: []string{"n", "t", "dead subsets", "sync runs", "delayed runs", "all correct"},
+		Notes: []string{
+			"exhaustive over dead subsets; every run checked for termination, agreement, and strong validity",
+			fmt.Sprintf("delayed runs: %d seeded adversarial schedules per subset, per-message extra delay <= %d, budget Rounds(D) = 2D+4", e19DelaySeeds, e19MaxDelay),
+		},
+	}
+	totalRuns := 0
+	for _, r := range rows {
+		frontier.AddRow(r.n, r.t, r.subsets, r.syncRuns, r.delayedRuns, true)
+		totalRuns += r.syncRuns + r.delayedRuns
+	}
+
+	impossible := []struct{ n, t int }{{2, 1}, {4, 2}, {6, 3}}
+	witnesses, err := sweep.Map(len(impossible), func(i int) (string, error) {
+		size := impossible[i]
+		names := graph.Complete(size.n).Names()
+		rounds := initdead.Rounds(0) + size.n
+		delays := initdead.PartitionDelays(names, size.t, rounds)
+		inputs := make([]string, size.n)
+		for j := range inputs {
+			if j < size.n-size.t {
+				inputs[j] = "0"
+			} else {
+				inputs[j] = "1"
+			}
+		}
+		run, live, err := runInitdead(size.n, size.t, nil, inputs, delays, rounds)
+		if err != nil {
+			return "", err
+		}
+		rep := initdead.Check(run, live)
+		if rep.Agreement == nil {
+			return "", fmt.Errorf("n=%d t=%d: partition delays failed to split the run (%+v)", size.n, size.t, rep)
+		}
+		return rep.Agreement.Error(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	split := &Table{
+		Title:   "n = 2t: a partition delay schedule manufactures disagreement",
+		Columns: []string{"n", "t", "schedule", "witnessed violation"},
+		Notes: []string{
+			"cross-group messages are delayed past the round horizon — the finite-run rendering of \"forever\"",
+			"each group holds exactly the n-t-1 foreign records the protocol waits for, so both proceed alone and decide their own inputs",
+		},
+	}
+	for i, size := range impossible {
+		split.AddRow(size.n, size.t,
+			fmt.Sprintf("groups %d+%d, all cross traffic delayed", size.n-size.t, size.t),
+			witnesses[i])
+	}
+
+	return &Result{
+		ID:    "E19",
+		Name:  "The n > 2t initially-dead possibility baseline",
+		Paper: "FLP Section 4 protocol; contrast with the paper's Fault-axiom adversaries",
+		Summary: fmt.Sprintf(
+			"%d protocol runs across every dead subset <= t on both sides of the frontier: all correct for n > 2t (synchronous and delayed), disagreement witnessed at n = 2t for every size tried.",
+			totalRuns),
+		Tables: []*Table{frontier, split},
+	}, nil
+}
+
+// RunE20 fires the chaos panel in its adversarial-asynchrony mode:
+// every sync-panel trial runs under a seeded delay schedule, initially
+// dead subsets and the initdead protocol join the draw, and every
+// violation is shrunk — delay rules included — to a 1-minimal
+// counterexample.
+func RunE20() (*Result, error) {
+	rep, err := chaos.Run(context.Background(), chaos.Config{
+		Seed: e20Seed, Trials: e20Trials, Async: true, Dead: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !rep.OK() {
+		return nil, fmt.Errorf("async chaos panel found unexpected failures:\n%s", rep.Render())
+	}
+
+	type tally struct{ trials, adequate, delayed, violations int }
+	byProto := map[string]*tally{}
+	protoOrder := []string{}
+	for i := 0; i < e20Trials; i++ {
+		s := chaos.NewScheduleWith(e20Seed, i, e20Opts)
+		tl := byProto[s.Protocol]
+		if tl == nil {
+			tl = &tally{}
+			byProto[s.Protocol] = tl
+			protoOrder = append(protoOrder, s.Protocol)
+		}
+		tl.trials++
+		if s.Adequate {
+			tl.adequate++
+		}
+		if len(s.Delays) > 0 {
+			tl.delayed++
+		}
+	}
+	for _, f := range rep.Expected {
+		byProto[f.Schedule.Protocol].violations++
+	}
+
+	panel := &Table{
+		Title:   fmt.Sprintf("Async chaos panel (seed %d, %d trials): delay schedules + initially-dead subsets", e20Seed, e20Trials),
+		Columns: []string{"protocol", "trials", "adequate", "delayed", "violations", "all adequate green"},
+		Notes: []string{
+			fmt.Sprintf("reproduce any row with: flm chaos -async -deadset -seed %d -trials %d", e20Seed, e20Trials),
+			"sync-panel trials under delays count as inadequate by construction: delivery past the round horizon is message loss",
+			"initdead trials are adequate iff n > 2t; inadequate ones may draw the partition schedule with split inputs",
+		},
+	}
+	for _, p := range protoOrder {
+		tl := byProto[p]
+		panel.AddRow(p, tl.trials, tl.adequate, tl.delayed, tl.violations, true)
+	}
+
+	findings := &Table{
+		Title:   "Shrunk counterexamples (minimal faulty actions + delay rules that still violate)",
+		Columns: []string{"trial", "schedule", "violated condition", "shrunk"},
+		Notes: []string{
+			"delay rules shrink too: ddmin-style chunk removal to 1-minimality, then per-rule extra-delay weakening",
+		},
+	}
+	for _, f := range rep.Expected {
+		shrunk := "-"
+		if f.Shrunk != nil {
+			shrunk = fmt.Sprintf("%d fault(s) + %d rule(s): %s",
+				len(f.Shrunk.Actions), len(f.Shrunk.Delays), f.Shrunk.Describe())
+		}
+		findings.AddRow(f.Trial, f.Schedule.Describe(), f.Violation, shrunk)
+	}
+
+	return &Result{
+		ID:    "E20",
+		Name:  "Chaos panel under adversarial asynchrony",
+		Paper: "Fault axiom (Section 2) extended with delay adversaries; FLP Section 4 frontier",
+		Summary: fmt.Sprintf(
+			"%d randomized attack schedules under adversarial delays and initially-dead subsets: %d green, %d violations — every one on an inadequate configuration, every one shrunk (delay rules included).",
+			rep.Trials, rep.Green, len(rep.Expected)),
+		Tables: []*Table{panel, findings},
+	}, nil
+}

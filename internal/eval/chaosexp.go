@@ -9,10 +9,12 @@ import (
 
 // E18 parameters: the pinned seed and trial count shared by the CI
 // smoke job (`flm chaos -trials 64 -seed 1`), the chaos package tests,
-// and EXPERIMENTS.md. Changing either changes the recorded findings.
+// and EXPERIMENTS.md. They alias the chaos package's exported smoke
+// constants so the experiment can never drift from the pinned pair;
+// ci_test.go cross-checks the workflow file against the same values.
 const (
-	e18Seed   = 1
-	e18Trials = 64
+	e18Seed   = chaos.SmokeSeed
+	e18Trials = chaos.SmokeTrials
 )
 
 // RunE18 fires the chaos adversary panel: seeded randomized attack

@@ -7,8 +7,8 @@ import (
 
 func TestRegistryShape(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(reg))
 	}
 	seen := map[string]bool{}
 	for _, e := range reg {

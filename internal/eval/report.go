@@ -165,6 +165,8 @@ func Registry() []Experiment {
 		{ID: "E16", Name: "Ablation: delay assumptions (footnote 4, Scaling axiom)", Paper: "Section 4 fn.4; Section 7 remark", Run: RunE16},
 		{ID: "E17", Name: "The adequacy frontier across graph families", Paper: "Theorem 1 both bounds + tightness census", Run: RunE17},
 		{ID: "E18", Name: "Chaos adversary panel across the adequacy boundary", Paper: "Fault axiom (Section 2) + Theorems 1,5,8 predictions", Run: RunE18},
+		{ID: "E19", Name: "The n > 2t initially-dead possibility baseline", Paper: "FLP Section 4 protocol; contrast with the paper's Fault-axiom adversaries", Run: RunE19},
+		{ID: "E20", Name: "Chaos panel under adversarial asynchrony", Paper: "Fault axiom (Section 2) extended with delay adversaries; FLP Section 4 frontier", Run: RunE20},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		if len(exps[i].ID) != len(exps[j].ID) {

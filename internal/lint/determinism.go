@@ -34,6 +34,7 @@ var deterministicPkgs = map[string]bool{
 	"flm/internal/firingsquad": true,
 	"flm/internal/signed":      true,
 	"flm/internal/runcache":    true,
+	"flm/internal/initdead":    true,
 }
 
 // mapOrderPkgs additionally get the map-iteration-order check: these

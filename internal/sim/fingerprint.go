@@ -73,6 +73,21 @@ func systemKey(sys *System, rounds int, opts ExecuteOpts) (string, bool) {
 	h.Int(rounds)
 	h.Int(boolBit(opts.RecordSnapshots))
 	h.Int(boolBit(opts.RecordEdges))
+	// Delay schedules change delivery, so they are part of the execution's
+	// identity. nil and all-inert schedules hash exactly like the
+	// pre-asynchrony key so synchronous cache entries stay addressable.
+	if opts.Delays != nil && !opts.Delays.Empty() {
+		h.Field("delays/v1")
+		for _, r := range opts.Delays.Rules {
+			if r.Extra <= 0 {
+				continue
+			}
+			h.Field(r.From)
+			h.Field(r.To)
+			h.Int(r.Round)
+			h.Int(r.Extra)
+		}
+	}
 	return h.Sum(), true
 }
 

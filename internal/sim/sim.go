@@ -174,13 +174,22 @@ type Run struct {
 // (core's splice cache) key on it.
 func (r *Run) Fingerprint() string { return r.fp }
 
-// ExecuteOpts selects what ExecuteWith records. The zero value is the
-// fast mode: only decisions are tracked. Axiom verification (CheckLocality
+// ExecuteOpts selects what ExecuteWith records and under which delivery
+// model the system runs. The zero value is the fast mode: only decisions
+// are tracked, synchronous delivery. Axiom verification (CheckLocality
 // and every Prove* chain) requires full recording; decision-only sweeps
 // (attack panels, tightness censuses) use the fast mode.
 type ExecuteOpts struct {
 	RecordSnapshots bool // populate Run.Snapshots (one string per node per round)
 	RecordEdges     bool // populate Run.Edges (payload sequences per directed edge)
+
+	// Delays switches the execution into the adversarial asynchronous
+	// delivery mode (see async.go): matching messages are held back
+	// extra rounds, deliveries past the horizon are lost. nil (or an
+	// empty schedule) is the synchronous model. Edge behaviors still
+	// record payloads at their send round — the wire history — so async
+	// runs must not be fed to CheckLocality or the splice engine.
+	Delays *DelaySchedule
 }
 
 // FullRecording records everything — the behavior of Execute, and the
@@ -314,25 +323,36 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 		}
 	}
 
-	// Two reusable mailbox buffers (node x sender-slot) plus one reusable
-	// Inbox map per node, refilled at the Step boundary. This replaces the
-	// per-round allocation of n fresh Inbox maps.
+	// A ring of reusable mailbox buffers (delivery round x node x
+	// sender-slot) plus one reusable Inbox map per node, refilled at the
+	// Step boundary. Synchronous delivery needs a window of 2 (the
+	// classic current/next double buffer); a delay schedule widens the
+	// window to maxExtra+2 so a message sent in round r with extra delay
+	// e <= maxExtra lands in slot (r+1+e) mod window — always a future
+	// slot distinct from the one being read, and read exactly once, at
+	// round r+1+e. Slots are wiped right after their read round, so a
+	// slot observed at round d is exactly the sends targeted at d.
 	totalDeg := 0
 	for u := 0; u < n; u++ {
 		totalDeg += len(adj[u])
 	}
-	curBuf := make([]Payload, totalDeg)
-	nxtBuf := make([]Payload, totalDeg)
-	cur := make([][]Payload, n)
-	nxt := make([][]Payload, n)
+	delays, maxExtra := opts.Delays.compile()
+	window := maxExtra + 2
+	ringBuf := make([]Payload, window*totalDeg)
+	ring := make([][][]Payload, window)
+	views := make([][]Payload, window*n)
 	inboxes := make([]Inbox, n)
-	off := 0
+	for w := 0; w < window; w++ {
+		ring[w] = views[w*n : (w+1)*n : (w+1)*n]
+		off := w * totalDeg
+		for u := 0; u < n; u++ {
+			d := len(adj[u])
+			ring[w][u] = ringBuf[off : off+d : off+d]
+			off += d
+		}
+	}
 	for u := 0; u < n; u++ {
-		d := len(adj[u])
-		cur[u] = curBuf[off : off+d : off+d]
-		nxt[u] = nxtBuf[off : off+d : off+d]
-		off += d
-		inboxes[u] = make(Inbox, d)
+		inboxes[u] = make(Inbox, len(adj[u]))
 	}
 
 	// Per-execution intern tables for the retained strings of a full
@@ -362,6 +382,7 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 			return run, cancelErr
 		}
 		var roundErr error
+		cur := ring[r%window]
 		for u := 0; u < n; u++ {
 			inbox := inboxes[u]
 			clear(inbox)
@@ -389,6 +410,7 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 						"sim: node %s sent to non-neighbor %q in round %d", g.Name(u), bad, r)
 				}
 			} else {
+				uName := g.Name(u)
 				for to, payload := range out {
 					if payload == None {
 						continue
@@ -404,7 +426,13 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 						}
 						t.seq[r] = payload
 					}
-					nxt[t.v][t.slot] = payload
+					deliver := r + 1
+					if delays != nil {
+						deliver += delays[delayKey{uName, to, r}]
+					}
+					if deliver < rounds {
+						ring[deliver%window][t.v][t.slot] = payload
+					}
 				}
 			}
 			if opts.RecordSnapshots {
@@ -442,10 +470,11 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 			// mode) been snapshotted; return the diagnosable partial run.
 			return run, roundErr
 		}
-		cur, nxt = nxt, cur
-		curBuf, nxtBuf = nxtBuf, curBuf
-		for i := range nxtBuf {
-			nxtBuf[i] = None
+		// The slot just read becomes the buffer for round r+window; wipe
+		// it so stale payloads never resurface.
+		spent := ringBuf[(r%window)*totalDeg : (r%window+1)*totalDeg]
+		for i := range spent {
+			spent[i] = None
 		}
 	}
 	return run, nil
