@@ -16,6 +16,10 @@
 #              (micro:timedsim-tick, micro:eig-resolve); allocation
 #              counts carry only a few percent of GC jitter, so unlike
 #              ns/op they gate reliably even on shared runners
+# cache-warm   the cross-process reuse smoke: run the full experiment
+#              suite twice against one FLM_CACHE_DIR, require the second
+#              run's report byte-identical to the first and its disk
+#              hit-rate (disk hits / L1 misses) to clear a pinned floor
 # chaos        the CI smoke run: randomized adversaries, pinned seed
 # chaos-async  the adversarial-asynchrony smoke: delay schedules plus
 #              initially-dead faults, pinned to its own seed/trial pair
@@ -31,11 +35,13 @@ CHAOS_TRIALS ?= 64
 ASYNC_CHAOS_SEED ?= 7
 ASYNC_CHAOS_TRIALS ?= 48
 BENCH_BASELINE ?= BENCH_2026-08-07.json
-BENCH_GATE_ENTRIES ?= micro:timedsim-tick,micro:eig-resolve,micro:async-sched
+BENCH_GATE_ENTRIES ?= micro:timedsim-tick,micro:eig-resolve,micro:async-sched,micro:cache-evict
 BENCH_GATE_THRESHOLD ?= 10
 TRACE_FILE ?= /tmp/flm-trace-smoke.jsonl
+CACHE_WARM_DIR ?= /tmp/flm-cache-warm
+CACHE_WARM_MIN_RATE ?= 90
 
-.PHONY: verify verify-race lint bench bench-smoke bench-gate chaos chaos-async trace-smoke
+.PHONY: verify verify-race lint bench bench-smoke bench-gate cache-warm chaos chaos-async trace-smoke
 
 verify: lint
 	$(GO) build ./...
@@ -62,6 +68,19 @@ bench-smoke:
 
 bench-gate:
 	$(GO) run ./cmd/flm bench -runs 1 -entries $(BENCH_GATE_ENTRIES) -o /tmp/flm-bench-gate.json -compare $(BENCH_BASELINE) -threshold $(BENCH_GATE_THRESHOLD)
+
+# Both runs are cold processes (go run spawns a fresh binary); only the
+# blob store under CACHE_WARM_DIR carries state across. The diff proves
+# disk-served results are byte-identical; the -mindiskrate gate (exit 3
+# below the floor) proves the second run actually came off disk rather
+# than recomputing.
+cache-warm:
+	rm -rf $(CACHE_WARM_DIR)
+	FLM_CACHE_DIR=$(CACHE_WARM_DIR) $(GO) run ./cmd/flm all > /tmp/flm-cache-warm-cold.txt
+	FLM_CACHE_DIR=$(CACHE_WARM_DIR) $(GO) run ./cmd/flm all -trace /tmp/flm-cache-warm.jsonl > /tmp/flm-cache-warm-warm.txt
+	diff /tmp/flm-cache-warm-cold.txt /tmp/flm-cache-warm-warm.txt
+	$(GO) run ./cmd/flm stats -mindiskrate $(CACHE_WARM_MIN_RATE) /tmp/flm-cache-warm.jsonl > /tmp/flm-cache-warm-stats.txt
+	@tail -1 /tmp/flm-cache-warm-stats.txt
 
 chaos:
 	$(GO) run ./cmd/flm chaos -seed $(CHAOS_SEED) -trials $(CHAOS_TRIALS)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/big"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -16,6 +17,7 @@ import (
 
 	"flm"
 	"flm/internal/obs"
+	"flm/internal/runcache"
 	"flm/internal/sweep"
 )
 
@@ -85,7 +87,7 @@ func cmdBench(args []string, out io.Writer) int {
 	runs := fs.Int("runs", 3, "cold runs per workload; the fastest is reported")
 	entries := fs.String("entries", "", "comma-separated entry IDs to run (default all); the report and any -compare gate then cover only these")
 	workers := fs.Int("workers", 0, "sweep worker count (0 = FLM_WORKERS env or GOMAXPROCS)")
-	compare := fs.String("compare", "", "baseline BENCH json to diff the fresh numbers against")
+	compare := fs.String("compare", "auto", "baseline BENCH json to diff the fresh numbers against; \"auto\" picks the newest committed BENCH_*.json, \"off\" disables")
 	threshold := fs.Float64("threshold", 0, "regression gate: exit nonzero if any shared entry's allocs/op or B/op worsens by more than this percent; ns/op is flagged but not gated (0 = report-only)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (post-suite, after GC) to this file")
@@ -100,6 +102,13 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 	prev := sweep.SetWorkers(*workers)
 	defer sweep.SetWorkers(prev)
+
+	// Bench numbers are cold-run numbers. main() never installs the disk
+	// cache tier for the bench command, and this uninstall makes the
+	// invariant local: even if an embedder (or a future refactor) wired a
+	// store first, every measured run recomputes instead of deserializing
+	// warm blobs. TestBenchBypassesDiskTier pins this.
+	defer flm.DisableDiskRunCache()()
 
 	// -entries filter: run only the named workloads (e.g. the CI perf
 	// gate benches just the micros it can time deterministically).
@@ -120,8 +129,38 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 	defer stopTrace()
 
+	date := time.Now().Format("2006-01-02")
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	// Resolve the baseline before running anything: "auto" (the default)
+	// diffs against the newest committed BENCH_*.json — excluding the
+	// file this run is about to write — so every bench run shows its
+	// trajectory without anyone remembering the baseline's name.
 	var baseline *BenchReport
-	if *compare != "" {
+	baseName := *compare
+	switch strings.ToLower(*compare) {
+	case "", "off", "none":
+		baseline = nil
+	case "auto":
+		newest, err := newestBaseline(path)
+		if err != nil {
+			fmt.Fprintf(out, "bench: %v\n", err)
+			return 1
+		}
+		if newest == "" {
+			fmt.Fprintln(out, "bench: no committed BENCH_*.json baseline; skipping comparison")
+		} else {
+			b, err := loadBenchReport(newest)
+			if err != nil {
+				fmt.Fprintf(out, "bench: %v\n", err)
+				return 1
+			}
+			baseline, baseName = b, newest
+		}
+	default:
 		b, err := loadBenchReport(*compare)
 		if err != nil {
 			fmt.Fprintf(out, "bench: %v\n", err)
@@ -144,11 +183,6 @@ func cmdBench(args []string, out io.Writer) int {
 		defer pprof.StopCPUProfile()
 	}
 
-	date := time.Now().Format("2006-01-02")
-	path := *outPath
-	if path == "" {
-		path = "BENCH_" + date + ".json"
-	}
 	// Open the output before the (minutes-long) suite so a bad path
 	// fails now, not after the benchmarks have run.
 	f, err := os.Create(path)
@@ -226,11 +260,28 @@ func cmdBench(args []string, out io.Writer) int {
 	}
 
 	if baseline != nil {
-		if regressed := compareReports(out, &report, baseline, *compare, *threshold); regressed {
+		if regressed := compareReports(out, &report, baseline, baseName, *threshold); regressed {
 			return 3
 		}
 	}
 	return 0
+}
+
+// newestBaseline picks the newest committed BENCH_*.json in the working
+// directory — dated names sort lexicographically — skipping the file the
+// current run is writing (comparing a report to itself proves nothing).
+func newestBaseline(exclude string) (string, error) {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Clean(matches[i]) != filepath.Clean(exclude) {
+			return matches[i], nil
+		}
+	}
+	return "", nil
 }
 
 // loadBenchReport reads a committed BENCH_<date>.json baseline.
@@ -461,6 +512,48 @@ func microBenches() []microBench {
 		}
 		return nil
 	}
+	// micro:cache-evict isolates the run cache's L1 bookkeeping under
+	// eviction pressure: a 64KiB cache fed 4096 ~1KiB values (64x the
+	// budget) twice over, so nearly every Do is a miss that inserts,
+	// promotes, and evicts through the sharded LRU; the second pass adds
+	// the evicted-key-recompute path. No sim work — the measured cost is
+	// keys (sha256 hashing), shard locking, list surgery, and budget
+	// accounting, which is exactly the machinery this PR put on the
+	// ExecuteCtx hot path.
+	cacheEvict := func() error {
+		c := runcache.New(runcache.WithBudget(64<<10), runcache.WithCost(func(v any) int64 {
+			return int64(len(v.(string))) + 16
+		}))
+		val := strings.Repeat("x", 1024)
+		keys := make([]string, 4096)
+		for i := range keys {
+			h := runcache.NewHasher("bench.cache-evict/v1")
+			h.Int(i)
+			keys[i] = h.Sum()
+		}
+		computes := 0
+		for pass := 0; pass < 2; pass++ {
+			for _, k := range keys {
+				if _, err := c.Do(k, func() (any, error) {
+					computes++
+					return val, nil
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Evictions == 0 {
+			return fmt.Errorf("cache-evict bench: no evictions (budget not enforced?)")
+		}
+		if st.BytesRetained > 64<<10 {
+			return fmt.Errorf("cache-evict bench: retained %d bytes over the 64KiB budget", st.BytesRetained)
+		}
+		if computes < 4096 {
+			return fmt.Errorf("cache-evict bench: only %d computes for 4096 distinct keys", computes)
+		}
+		return nil
+	}
 	return []microBench{
 		{"micro:eig-n10-f3-full", "EIG trial, full recording", eigTrial(flm.FullRecording)},
 		{"micro:eig-n10-f3-fast", "EIG trial, decision-only fast mode", eigTrial(flm.ExecuteOpts{})},
@@ -474,5 +567,6 @@ func microBenches() []microBench {
 		{"micro:timedsim-tick", "Theorem 8 ring of chase devices (timed tick loop)", timedTick},
 		{"micro:eig-resolve", "EIG K9 f=2, 16 input patterns (flat-tree resolve)", eigResolve},
 		{"micro:async-sched", "initdead K7 t=3 under seeded delay schedules (delivery ring)", asyncSched},
+		{"micro:cache-evict", "runcache L1 under 64x eviction pressure (sharded LRU)", cacheEvict},
 	}
 }

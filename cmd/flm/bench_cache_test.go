@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flm"
+)
+
+// TestBenchBypassesDiskTier pins the bench hygiene rule: `flm bench`
+// measures cold in-process numbers, so even with a disk tier installed
+// (as main() does for every other command) the bench run must write no
+// blobs and must reinstall the tier when it finishes.
+func TestBenchBypassesDiskTier(t *testing.T) {
+	cacheDir := t.TempDir()
+	restore, err := flm.SetRunCacheDir(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	out, code := capture(t, "bench",
+		"-entries", "micro:eig-n10-f3-fast", "-runs", "1", "-compare", "off", "-o", outPath)
+	if code != 0 {
+		t.Fatalf("bench exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "micro:eig-n10-f3-fast") {
+		t.Fatalf("bench did not run the requested entry:\n%s", out)
+	}
+
+	blobs, err := filepath.Glob(filepath.Join(cacheDir, "*", "*.blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 0 {
+		t.Fatalf("bench wrote %d blobs to the disk tier: %v", len(blobs), blobs)
+	}
+	if got := flm.RunCacheDir(); got != cacheDir {
+		t.Fatalf("bench left the disk tier at %q, want %q restored", got, cacheDir)
+	}
+}

@@ -21,7 +21,24 @@ import (
 	"flm"
 )
 
-func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+func main() {
+	args := os.Args[1:]
+	// The disk tier of the run cache is a per-process opt-in (the
+	// library default keeps `go test` and embedders hermetic); the CLI
+	// is where cross-process reuse pays, so it installs the tier here
+	// for every command except bench — whose cold-run regression gate
+	// must never be served from a warm cache directory. FLM_CACHE_DIR
+	// overrides the location; FLM_CACHE_DIR=off disables. Installing in
+	// main rather than run keeps the command tests hermetic too.
+	if len(args) > 0 && args[0] != "bench" {
+		if dir := flm.DefaultCacheDir(); dir != "" {
+			if _, err := flm.SetRunCacheDir(dir); err != nil {
+				fmt.Fprintf(os.Stderr, "flm: disk run cache unavailable: %v\n", err)
+			}
+		}
+	}
+	os.Exit(run(args, os.Stdout))
+}
 
 func run(args []string, out io.Writer) int {
 	if len(args) == 0 {
@@ -74,9 +91,12 @@ commands:
   bench [-o file] [-runs n] [-workers n] [-compare baseline.json]
         [-threshold pct] [-cpuprofile f] [-memprofile f]
                        benchmark the experiments and write BENCH_<date>.json;
-                       -compare diffs against a committed baseline (exit 3
-                       on regression when -threshold > 0), -cpuprofile and
-                       -memprofile write runtime/pprof profiles
+                       -compare diffs against a baseline (default "auto":
+                       the newest committed BENCH_*.json; exit 3 on
+                       regression when -threshold > 0), -cpuprofile and
+                       -memprofile write runtime/pprof profiles; bench
+                       always measures cold runs: the disk cache tier is
+                       never consulted
   chaos [-seed n] [-trials n] [-timeout d] [-workers n] [-noshrink]
         [-async] [-deadset]
                        fire seeded randomized adversaries at the protocol
@@ -85,15 +105,26 @@ commands:
                        seeded per-message delay schedules (shrunk too),
                        -deadset adds initially-dead subsets and the FLP
                        Section 4 initdead protocol across n > 2t
-  stats <trace.jsonl>  summarize an instrumentation trace: cache hit
-                       rates, sweep worker utilization, chain structure,
-                       chaos outcomes, slowest spans
+  stats [-mindiskrate pct] <trace.jsonl>
+                       summarize an instrumentation trace: cache hit
+                       rates (memory + disk tiers), sweep worker
+                       utilization, chain structure, chaos outcomes,
+                       slowest spans; -mindiskrate gates on the disk
+                       tier serving at least that percent of run-cache
+                       L1 misses (exit 3 below it)
 
 The run, all, prove, chaos, and bench commands accept a global
 -trace <file.jsonl> flag (env fallback FLM_TRACE) that records every
 span, event, and metric of the invocation as JSON Lines; inspect the
 result with flm stats. Tracing off costs nothing: the engine runs its
-instrumentation-free path.`)
+instrumentation-free path.
+
+Run cache: memoized executions live in a bounded in-memory tier
+(FLM_CACHE_BUDGET, default 256MiB) plus an on-disk content-addressed
+store shared across processes (FLM_CACHE_DIR, default the user cache
+dir; set to "off" to disable). Every command except bench uses the disk
+tier; bench measures cold runs by design. FLM_RUNCACHE=off disables
+caching entirely.`)
 }
 
 func cmdDot(args []string, out io.Writer) int {

@@ -69,6 +69,8 @@ func runExperiment(e flm.Experiment) (*flm.ExperimentResult, error) {
 		obs.Int64("runcache_hits", int64(rc.Hits)),
 		obs.Int64("runcache_misses", int64(rc.Misses)),
 		obs.Int64("runcache_waits", int64(rc.Waits)),
+		obs.Int64("runcache_disk_hits", int64(rc.DiskHits)),
+		obs.Int64("runcache_evictions", int64(rc.Evictions)),
 		obs.F64("runcache_hit_rate", rc.HitRate()),
 		obs.Int64("splicecache_hits", int64(sc.Hits)),
 		obs.Int64("splicecache_misses", int64(sc.Misses)))

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -58,11 +59,18 @@ func usDur(us int64) string {
 }
 
 func cmdStats(args []string, out io.Writer) int {
-	if len(args) != 1 {
-		fmt.Fprintln(out, "stats: usage: flm stats <trace.jsonl>  (produced by -trace on run/all/prove/chaos/bench)")
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	minDiskRate := fs.Float64("mindiskrate", -1, "gate: exit nonzero unless at least this percent of the run cache's L1 misses were served from the disk tier (the CI cache-warm assertion); negative disables")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	f, err := os.Open(args[0])
+	if fs.NArg() != 1 {
+		fmt.Fprintln(out, "stats: usage: flm stats [-mindiskrate pct] <trace.jsonl>  (produced by -trace on run/all/prove/chaos/bench)")
+		return 2
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(out, "stats: %v\n", err)
 		return 1
@@ -70,10 +78,18 @@ func cmdStats(args []string, out io.Writer) int {
 	defer f.Close()
 	summary, err := foldTrace(f)
 	if err != nil {
-		fmt.Fprintf(out, "stats: %s: %v\n", args[0], err)
+		fmt.Fprintf(out, "stats: %s: %v\n", path, err)
 		return 1
 	}
-	summary.render(out, args[0])
+	summary.render(out, path)
+	if *minDiskRate >= 0 {
+		rate := summary.diskRate()
+		fmt.Fprintf(out, "\ndisk tier served %.1f%% of run-cache L1 misses (gate: >= %.1f%%)\n", rate, *minDiskRate)
+		if rate < *minDiskRate {
+			fmt.Fprintln(out, "stats: disk hit-rate below the -mindiskrate gate")
+			return 3
+		}
+	}
 	return 0
 }
 
@@ -284,20 +300,35 @@ func (s *traceSummary) noteSlow(rec traceRec) {
 }
 
 // cacheLine renders one cache's span-derived counters; served is the
-// fraction answered without running (hits plus single-flight waits).
+// fraction answered without running (hits, single-flight waits, and
+// disk-tier fills).
 func cacheLine(w io.Writer, label string, counts map[string]int) {
 	if len(counts) == 0 {
 		fmt.Fprintf(w, "  %-12s no traffic in this trace\n", label)
 		return
 	}
-	hit, wait, miss := counts["hit"], counts["wait"], counts["miss"]
-	lookups := hit + wait + miss
+	hit, wait, disk, miss := counts["hit"], counts["wait"], counts["disk"], counts["miss"]
+	lookups := hit + wait + disk + miss
 	rate := 0.0
 	if lookups > 0 {
-		rate = 100 * float64(hit+wait) / float64(lookups)
+		rate = 100 * float64(hit+wait+disk) / float64(lookups)
 	}
-	fmt.Fprintf(w, "  %-12s hit %d  wait %d  miss %d  bypass %d  uncacheable %d  — hit rate %.1f%%\n",
-		label, hit, wait, miss, counts["bypass"], counts["uncacheable"], rate)
+	fmt.Fprintf(w, "  %-12s hit %d  wait %d  disk %d  miss %d  bypass %d  uncacheable %d  — hit rate %.1f%%\n",
+		label, hit, wait, disk, miss, counts["bypass"], counts["uncacheable"], rate)
+}
+
+// diskRate is the percentage of run-cache lookups that fell through L1
+// and were then served by the disk tier: disk / (disk + miss). This is
+// the cache-warm CI assertion's measure — a second cold process should
+// fill its L1 misses from the blobs the first one wrote, so L1 hits
+// (which say nothing about cross-process reuse) are excluded on both
+// sides of the ratio.
+func (s *traceSummary) diskRate() float64 {
+	disk, miss := s.execCache["disk"], s.execCache["miss"]
+	if disk+miss == 0 {
+		return 0
+	}
+	return 100 * float64(disk) / float64(disk+miss)
 }
 
 func (s *traceSummary) render(out io.Writer, path string) {
@@ -391,6 +422,12 @@ func (s *traceSummary) render(out io.Writer, path string) {
 			misses, _ := e.rec.attrInt("runcache_misses")
 			line := fmt.Sprintf("  %-4s %-44s %10s  runcache +%d hit / +%d miss",
 				e.rec.attrStr("id"), e.rec.attrStr("name"), usDur(e.rec.DurUS), hits, misses)
+			if disk, ok := e.rec.attrInt("runcache_disk_hits"); ok && disk > 0 {
+				line += fmt.Sprintf(" / +%d disk", disk)
+			}
+			if ev, ok := e.rec.attrInt("runcache_evictions"); ok && ev > 0 {
+				line += fmt.Sprintf(" / +%d evict", ev)
+			}
 			if errText := e.rec.attrStr("error"); errText != "" {
 				line += "  ERROR: " + errText
 			}
@@ -407,6 +444,14 @@ func (s *traceSummary) render(out io.Writer, path string) {
 		sort.Strings(cnames)
 		for _, n := range cnames {
 			fmt.Fprintf(out, "  %-24s %d\n", n, s.metrics.Counters[n])
+		}
+		gnames := make([]string, 0, len(s.metrics.Gauges))
+		for n := range s.metrics.Gauges {
+			gnames = append(gnames, n)
+		}
+		sort.Strings(gnames)
+		for _, n := range gnames {
+			fmt.Fprintf(out, "  %-24s %d\n", n, s.metrics.Gauges[n])
 		}
 		hnames := make([]string, 0, len(s.metrics.Hists))
 		for n := range s.metrics.Hists {

@@ -209,6 +209,27 @@ var (
 	// SetRunCacheEnabled overrides the FLM_RUNCACHE default (caches on
 	// unless FLM_RUNCACHE=off/0/false/no) and returns a restore func.
 	SetRunCacheEnabled = runcache.SetEnabled
+	// SetRunCacheDir installs the execution cache's on-disk tier at a
+	// directory (empty = uninstall), enabling cross-process reuse of
+	// memoized runs. Returns a restore func. The library default is no
+	// disk tier; the flm CLI installs one per FLM_CACHE_DIR for every
+	// command except bench.
+	SetRunCacheDir = sim.SetRunCacheDir
+	// DisableDiskRunCache removes the disk tier (restore func returned),
+	// for cold-run measurement paths like flm bench.
+	DisableDiskRunCache = sim.DisableDiskRunCache
+	// RunCacheDir reports the installed disk tier's directory, or "".
+	RunCacheDir = sim.RunCacheDir
+	// SetRunCacheBudget rebounds the execution cache's in-memory byte
+	// budget at runtime (negative = unbounded, zero = retain nothing),
+	// overriding FLM_CACHE_BUDGET; returns a restore func.
+	SetRunCacheBudget = sim.SetRunCacheBudget
+	// ParseCacheBudget parses a FLM_CACHE_BUDGET-style value ("64MiB",
+	// "unbounded", ...) into a byte count.
+	ParseCacheBudget = runcache.ParseBudget
+	// DefaultCacheDir resolves the disk tier's directory from the
+	// environment: FLM_CACHE_DIR, or the user cache dir, or "" (off).
+	DefaultCacheDir = runcache.DefaultDir
 )
 
 // ResetRunCaches drops every memoized execution and splice, for tests

@@ -122,7 +122,39 @@ func spliceScenarioTraced(inst *Installation, runS *sim.Run, u []int, builders m
 // spliceCache memoizes whole splices — the constructed G-run plus the
 // verified locality bookkeeping — one level above sim's execution cache,
 // saving the protocol assembly and self-check work on repeats.
-var spliceCache = runcache.New()
+//
+// Policy: memory-only. A *Splice holds builder closures (via its
+// Installation) that cannot be content-addressed across processes, so no
+// disk tier is ever installed here; the underlying executions it splices
+// are what the persistent tier serves. The L1 budget still applies, with
+// the cost model charging the constructed run plus the splice
+// bookkeeping.
+var spliceCache = runcache.New(
+	runcache.WithCost(spliceCost),
+	runcache.WithMetrics("core.splice"),
+)
+
+// spliceCost estimates the retained bytes of a cached *Splice: the
+// constructed G-run (the dominant term, costed by sim's run estimator)
+// plus the rename map and node-name slices.
+func spliceCost(v any) int64 {
+	sp, ok := v.(*Splice)
+	if !ok || sp == nil {
+		return 512
+	}
+	cost := int64(128) + sim.RunCost(sp.Run)
+	for _, s := range sp.Correct {
+		cost += int64(len(s)) + 16
+	}
+	for _, s := range sp.Faulty {
+		cost += int64(len(s)) + 16
+	}
+	for _, s := range sp.UNodes {
+		cost += int64(len(s)) + 16
+	}
+	cost += int64(len(sp.Rename)) * 80
+	return cost
+}
 
 // SpliceCacheStats reports the splice cache's hit/miss counters.
 func SpliceCacheStats() runcache.Stats { return spliceCache.Stats() }

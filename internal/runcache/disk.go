@@ -1,0 +1,218 @@
+package runcache
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The disk tier: a content-addressed blob store. Keys are the same
+// canonical sha256 fingerprints the L1 map uses, so a blob written by
+// any process is a valid answer for every other — the store is what
+// turns the per-process run cache into cross-process and CI-to-CI
+// reuse. Layout is git-style fan-out under the root directory:
+//
+//	<dir>/<hh>/<hex(key)>.blob
+//
+// where hh is the first hex byte of the key. Each blob is framed and
+// digest-protected:
+//
+//	magic "flmb1" | uvarint payload length | payload | sha256(payload)
+//
+// Get verifies the frame end to end; a truncated, padded, or
+// bit-flipped blob fails verification and is reported as corrupt, which
+// the cache treats as a miss (delete, then recompute). Put writes via a
+// temp file + rename so concurrent processes never observe a partial
+// blob. The store is therefore safe to share between processes with no
+// locking: blobs are immutable once visible, and two writers racing on
+// one key write identical bytes.
+
+// blobMagic brands every blob file; bump when the frame changes shape.
+const blobMagic = "flmb1"
+
+// ErrNotExist reports a key with no blob in the store.
+var ErrNotExist = errors.New("runcache: blob not found")
+
+// CorruptError reports a blob that failed frame verification. The cache
+// deletes such blobs and recomputes; callers inspecting errors can use
+// errors.As to tell corruption (damaged cache dir) from absence.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("runcache: corrupt blob %s: %s", e.Path, e.Reason)
+}
+
+func isCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Store is an on-disk content-addressed blob store rooted at a
+// directory. The zero value is not usable; use OpenStore.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if necessary) a blob store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("runcache: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its blob file. Keys are raw digest strings; hex
+// encoding makes them filesystem-safe regardless of content.
+func (s *Store) path(key string) string {
+	h := hex.EncodeToString([]byte(key))
+	fan := "00"
+	if len(h) >= 2 {
+		fan = h[:2]
+	}
+	return filepath.Join(s.dir, fan, h+".blob")
+}
+
+// Get returns the verified payload stored under key. It returns
+// ErrNotExist when no blob exists and a *CorruptError when the blob
+// fails frame verification (wrong magic, truncated, trailing garbage,
+// or digest mismatch).
+func (s *Store) Get(key string) ([]byte, error) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotExist
+		}
+		return nil, err
+	}
+	payload, reason := verifyBlob(data)
+	if reason != "" {
+		return nil, &CorruptError{Path: p, Reason: reason}
+	}
+	return payload, nil
+}
+
+// verifyBlob checks the frame and returns the payload, or a non-empty
+// rejection reason.
+func verifyBlob(data []byte) (payload []byte, reason string) {
+	if len(data) < len(blobMagic) || string(data[:len(blobMagic)]) != blobMagic {
+		return nil, "bad magic"
+	}
+	rest := data[len(blobMagic):]
+	n, consumed := binary.Uvarint(rest)
+	if consumed <= 0 {
+		return nil, "unreadable length"
+	}
+	rest = rest[consumed:]
+	if uint64(len(rest)) != n+sha256.Size {
+		return nil, "truncated or padded"
+	}
+	payload = rest[:n]
+	sum := sha256.Sum256(payload)
+	if subtle.ConstantTimeCompare(sum[:], rest[n:]) != 1 {
+		return nil, "digest mismatch"
+	}
+	return payload, ""
+}
+
+// Put writes the payload under key, atomically: the frame is assembled
+// in memory, written to a temp file in the target directory, and
+// renamed into place. An existing blob is left alone (its content is
+// necessarily identical — keys are content addresses).
+func (s *Store) Put(key string, payload []byte) error {
+	p := s.path(key)
+	if _, err := os.Stat(p); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	frame := make([]byte, 0, len(blobMagic)+binary.MaxVarintLen64+len(payload)+sha256.Size)
+	frame = append(frame, blobMagic...)
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	sum := sha256.Sum256(payload)
+	frame = append(frame, sum[:]...)
+
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Delete removes the blob stored under key, if any.
+func (s *Store) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Len walks the store and reports the blob count and total file bytes —
+// diagnostics for `flm stats` style reporting and tests; not used on
+// any hot path.
+func (s *Store) Len() (blobs int, bytes int64, err error) {
+	err = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil || d.IsDir() || !strings.HasSuffix(path, ".blob") {
+			return werr
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return ierr
+		}
+		blobs++
+		bytes += info.Size()
+		return nil
+	})
+	return blobs, bytes, err
+}
+
+// DefaultDir resolves the disk tier's directory from the environment:
+// FLM_CACHE_DIR names it directly, the values off/0/none/false disable
+// the tier (returning ""), and an unset variable falls back to the
+// user cache directory (~/.cache/flm on Linux). When no user cache
+// directory can be determined the tier is disabled rather than guessed.
+func DefaultDir() string {
+	switch v := os.Getenv("FLM_CACHE_DIR"); strings.ToLower(v) {
+	case "":
+		base, err := os.UserCacheDir()
+		if err != nil || base == "" {
+			return ""
+		}
+		return filepath.Join(base, "flm")
+	case "off", "0", "none", "false", "no":
+		return ""
+	default:
+		return os.Getenv("FLM_CACHE_DIR")
+	}
+}

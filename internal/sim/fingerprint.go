@@ -32,15 +32,59 @@ func FingerprintOf(d Device) string {
 
 // runCache memoizes whole executions keyed by systemKey. Runs are
 // immutable once executed (nothing in the engine writes a Run after
-// ExecuteCtx returns), so cached runs are shared, not copied.
-var runCache = runcache.New()
+// ExecuteCtx returns), so cached runs are shared, not copied. The L1
+// tier is bounded by FLM_CACHE_BUDGET with runCost (see runblob.go)
+// accounting the retained bytes of each run; the optional disk tier is
+// installed per process with SetRunCacheDir.
+var runCache = runcache.New(
+	runcache.WithCost(runCost),
+	runcache.WithMetrics("sim.run"),
+)
 
 // RunCacheStats reports the execution cache's hit/miss counters.
 func RunCacheStats() runcache.Stats { return runCache.Stats() }
 
-// ResetRunCache drops every cached execution, for tests and memory
-// pressure relief in long sweeps.
+// ResetRunCache drops every cached execution from memory, for tests and
+// memory pressure relief in long sweeps. The disk tier (if installed)
+// is untouched; use DisableDiskRunCache to take it out of the path.
 func ResetRunCache() { runCache.Reset() }
+
+// SetRunCacheDir installs the on-disk tier of the run cache at dir
+// (creating it if needed), so executions memoized by any process against
+// the same directory are reusable here. It returns a function restoring
+// the previous tier. An empty dir uninstalls the tier.
+//
+// The library default is no disk tier: `go test` and embedders stay
+// hermetic unless they opt in. The flm CLI opts in at startup for every
+// command except bench (see cmd/flm), honoring FLM_CACHE_DIR.
+func SetRunCacheDir(dir string) (restore func(), err error) {
+	if dir == "" {
+		return runCache.SetStore(nil, nil), nil
+	}
+	store, err := runcache.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return runCache.SetStore(store, RunCodec{}), nil
+}
+
+// DisableDiskRunCache removes the disk tier (if any), returning a
+// restore function — the bench harness brackets its cold-run
+// measurements with this.
+func DisableDiskRunCache() (restore func()) { return runCache.SetStore(nil, nil) }
+
+// RunCacheDir reports the directory of the installed disk tier, or ""
+// when the cache is memory-only.
+func RunCacheDir() string {
+	if st := runCache.Store(); st != nil {
+		return st.Dir()
+	}
+	return ""
+}
+
+// SetRunCacheBudget rebounds the L1 byte budget at runtime (negative =
+// unbounded, zero = retain nothing), returning a restore function.
+func SetRunCacheBudget(bytes int64) (restore func()) { return runCache.SetBudget(bytes) }
 
 // systemKey builds the content-addressed key for one execution:
 // (graph structure, per-node device fingerprint and input, rounds,

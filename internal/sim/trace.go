@@ -18,13 +18,15 @@ var (
 	mCacheHit    = obs.NewCounter("sim.cache.hit")
 	mCacheWait   = obs.NewCounter("sim.cache.wait")
 	mCacheMiss   = obs.NewCounter("sim.cache.miss")
+	mCacheDisk   = obs.NewCounter("sim.cache.disk")
 	mCacheBypass = obs.NewCounter("sim.cache.bypass")
 	hExecDur     = obs.NewHistogram("sim.exec.dur_us")
 )
 
 // executeCtxTraced is ExecuteCtx's traced twin: same cache dispatch,
 // wrapped in a "sim.execute" span recording the system shape, how the
-// cache served the execution (hit / wait / miss / bypass / uncacheable),
+// cache served the execution (hit / wait / disk / miss / bypass /
+// uncacheable),
 // the decision count, and — in full recording mode — the run's message
 // and byte totals from CollectStats.
 //
@@ -47,21 +49,21 @@ func executeCtxTraced(ctx context.Context, sys *System, rounds int, opts Execute
 	if ctx.Done() == nil && runcache.Enabled() {
 		if key, ok := systemKey(sys, rounds, opts); ok {
 			var v any
-			var hit, waited bool
-			v, hit, waited, err = runCache.DoObserved(key, func() (any, error) {
+			var how runcache.How
+			v, how, err = runCache.DoHow(key, func() (any, error) {
 				return executeCore(ctx, sys, rounds, opts, key)
 			})
 			run, _ = v.(*Run)
 			served = true
-			switch {
-			case waited:
-				cacheState = "wait"
+			cacheState = how.String() // miss / hit / wait / disk
+			switch how {
+			case runcache.Waited:
 				mCacheWait.Inc()
-			case hit:
-				cacheState = "hit"
+			case runcache.Hit:
 				mCacheHit.Inc()
+			case runcache.DiskHit:
+				mCacheDisk.Inc()
 			default:
-				cacheState = "miss"
 				mCacheMiss.Inc()
 			}
 		} else {
