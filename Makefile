@@ -26,6 +26,15 @@
 # trace-smoke  run E1 under -trace, fold the JSONL with flm stats, and
 #              fail if the summary comes out empty — the end-to-end
 #              check on the observability layer
+# trace-diff   the behavioral regression gate: a fresh deterministic E1
+#              trace (cache off, one worker) must diff clean against the
+#              committed reference (-notiming: wall-time shares are
+#              machine noise), and the committed regressed fixture must
+#              trip the exit-3 gate — proving the gate both passes good
+#              traces and fails bad ones
+# obs-smoke    start `flm all -obs-listen` and curl /healthz, /metrics
+#              (expecting Prometheus flm_ series), and /progress while
+#              the run is live
 
 GO ?= go
 FLMLINT ?= bin/flmlint
@@ -40,8 +49,13 @@ BENCH_GATE_THRESHOLD ?= 10
 TRACE_FILE ?= /tmp/flm-trace-smoke.jsonl
 CACHE_WARM_DIR ?= /tmp/flm-cache-warm
 CACHE_WARM_MIN_RATE ?= 90
+TRACE_REF ?= cmd/flm/testdata/e1_reference_trace.jsonl
+TRACE_REGRESSED ?= cmd/flm/testdata/e1_regressed_trace.jsonl
+TRACE_DIFF_FILE ?= /tmp/flm-trace-diff.jsonl
+TRACE_DIFF_THRESHOLD ?= 5
+OBS_SMOKE_ADDR ?= 127.0.0.1:9177
 
-.PHONY: verify verify-race lint bench bench-smoke bench-gate cache-warm chaos chaos-async trace-smoke
+.PHONY: verify verify-race lint bench bench-smoke bench-gate cache-warm chaos chaos-async trace-smoke trace-diff obs-smoke
 
 verify: lint
 	$(GO) build ./...
@@ -93,3 +107,31 @@ trace-smoke:
 	$(GO) run ./cmd/flm stats $(TRACE_FILE) | tee /tmp/flm-trace-smoke.txt
 	@grep -q "hit rate" /tmp/flm-trace-smoke.txt || { echo "trace-smoke: no cache summary in flm stats output" >&2; exit 1; }
 	@grep -q "core.chain.link" /tmp/flm-trace-smoke.txt || { echo "trace-smoke: no chain-link spans in flm stats output" >&2; exit 1; }
+
+# The fresh trace is produced under the same pinned conditions as the
+# committed reference (caches off, one worker) so every compared family
+# — counters, span counts, cache rates, traffic — is deterministic;
+# -notiming drops the wall-time-share family, which is machine noise.
+trace-diff:
+	$(GO) build -o bin/flm ./cmd/flm
+	FLM_RUNCACHE=off FLM_CACHE_DIR=off FLM_WORKERS=1 bin/flm run -trace $(TRACE_DIFF_FILE) E1 > /dev/null
+	bin/flm stats -diff $(TRACE_DIFF_FILE) $(TRACE_DIFF_FILE)
+	bin/flm stats -diff -notiming -threshold $(TRACE_DIFF_THRESHOLD) $(TRACE_REF) $(TRACE_DIFF_FILE)
+	@bin/flm stats -diff -notiming $(TRACE_REF) $(TRACE_REGRESSED) > /tmp/flm-trace-diff-gate.txt; \
+	status=$$?; \
+	test $$status -eq 3 || { echo "trace-diff: injected regression exited $$status, want 3" >&2; cat /tmp/flm-trace-diff-gate.txt >&2; exit 1; }; \
+	echo "trace-diff: injected regression tripped the exit-3 gate as expected"
+
+obs-smoke:
+	$(GO) build -o bin/flm ./cmd/flm
+	@set -e; \
+	bin/flm all -obs-listen $(OBS_SMOKE_ADDR) > /tmp/flm-obs-smoke-report.txt 2>/tmp/flm-obs-smoke-err.txt & pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+	  if curl -fsS http://$(OBS_SMOKE_ADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+	  sleep 0.05; done; \
+	test $$up -eq 1 || { echo "obs-smoke: /healthz never came up" >&2; cat /tmp/flm-obs-smoke-err.txt >&2; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -fsS http://$(OBS_SMOKE_ADDR)/metrics > /tmp/flm-obs-smoke-metrics.txt; \
+	grep -q '^flm_' /tmp/flm-obs-smoke-metrics.txt || { echo "obs-smoke: /metrics served no flm_ series" >&2; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -fsS http://$(OBS_SMOKE_ADDR)/progress > /tmp/flm-obs-smoke-progress.json; \
+	wait $$pid; \
+	echo "obs-smoke: /healthz, /metrics ($$(grep -c '^flm_' /tmp/flm-obs-smoke-metrics.txt) samples), and /progress all served during a live run"

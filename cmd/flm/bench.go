@@ -92,6 +92,7 @@ func cmdBench(args []string, out io.Writer) int {
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole suite to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (post-suite, after GC) to this file")
 	tracePath := fs.String("trace", "", "write a JSONL instrumentation trace (spans+metrics) to this file; FLM_TRACE is the env fallback")
+	obsListen := fs.String("obs-listen", "", "serve live /metrics, /healthz, /progress, and /debug/pprof on this address for the duration of the run; FLM_OBS_LISTEN is the env fallback")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -128,6 +129,12 @@ func cmdBench(args []string, out io.Writer) int {
 		return 1
 	}
 	defer stopTrace()
+	sess, err := startObs(obsListenTarget(*obsListen))
+	if err != nil {
+		fmt.Fprintf(out, "bench: %v\n", err)
+		return 1
+	}
+	defer sess.stop()
 
 	date := time.Now().Format("2006-01-02")
 	path := *outPath

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+
+	"flm/internal/obs"
+)
+
+// TestStartObsDisabledZeroCost is the zero-cost-when-disabled guard:
+// with no flag and no environment, startObs must return a nil session
+// without allocating and without starting a goroutine. The engine side
+// of the same contract is covered by flmobscost and the sim/sweep guard
+// tests; this pins the CLI entry point.
+func TestStartObsDisabledZeroCost(t *testing.T) {
+	t.Setenv(ObsListenEnv, "")
+	t.Setenv(ObsIntervalEnv, "")
+
+	before := runtime.NumGoroutine()
+	allocs := testing.AllocsPerRun(100, func() {
+		sess, err := startObs(obsListenTarget(""))
+		if err != nil {
+			t.Fatalf("startObs: %v", err)
+		}
+		if sess != nil {
+			t.Fatal("disabled startObs returned a live session")
+		}
+		sess.stop() // nil-safe no-op
+	})
+	if allocs != 0 {
+		t.Errorf("disabled startObs allocates %v times per call, want 0", allocs)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("disabled startObs leaked goroutines: %d -> %d", before, after)
+	}
+}
+
+// TestObsListenTarget pins the flag-over-env resolution order.
+func TestObsListenTarget(t *testing.T) {
+	t.Setenv(ObsListenEnv, "127.0.0.1:9")
+	if got := obsListenTarget("127.0.0.1:8"); got != "127.0.0.1:8" {
+		t.Errorf("flag should win: got %q", got)
+	}
+	if got := obsListenTarget(""); got != "127.0.0.1:9" {
+		t.Errorf("env fallback: got %q", got)
+	}
+	t.Setenv(ObsListenEnv, "")
+	if got := obsListenTarget(""); got != "" {
+		t.Errorf("neither set: got %q", got)
+	}
+}
+
+// TestStartObsEnabled starts a real session on an ephemeral port and
+// checks the discard tracer flips obs.Enabled(), the endpoint serves,
+// and stop() restores the disabled state.
+func TestStartObsEnabled(t *testing.T) {
+	t.Setenv(ObsIntervalEnv, "")
+	if obs.Enabled() {
+		t.Fatal("tracer already installed; test requires the disabled baseline")
+	}
+
+	sess, err := startObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("startObs: %v", err)
+	}
+	if sess == nil || sess.server == nil {
+		t.Fatal("enabled startObs returned no server")
+	}
+	if !obs.Enabled() {
+		t.Error("startObs did not install the discard tracer")
+	}
+
+	resp, err := http.Get("http://" + sess.server.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "flm_") {
+		t.Errorf("/metrics served no flm_ series:\n%s", body)
+	}
+
+	addr := sess.server.Addr()
+	sess.stop()
+	if obs.Enabled() {
+		t.Error("stop() did not uninstall the discard tracer")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("endpoint still serving after stop()")
+	}
+}
+
+// TestStartObsBadInterval checks an unparsable or non-positive
+// FLM_OBS_INTERVAL is rejected with a cleaned-up session.
+func TestStartObsBadInterval(t *testing.T) {
+	for _, bad := range []string{"soon", "-2s", "0"} {
+		t.Setenv(ObsIntervalEnv, bad)
+		sess, err := startObs("")
+		if err == nil {
+			sess.stop()
+			t.Errorf("%s=%q accepted, want error", ObsIntervalEnv, bad)
+		}
+		if obs.Enabled() {
+			t.Fatalf("%s=%q: failed startObs left the discard tracer installed", ObsIntervalEnv, bad)
+		}
+	}
+}

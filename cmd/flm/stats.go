@@ -61,24 +61,28 @@ func usDur(us int64) string {
 func cmdStats(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	minDiskRate := fs.Float64("mindiskrate", -1, "gate: exit nonzero unless at least this percent of the run cache's L1 misses were served from the disk tier (the CI cache-warm assertion); negative disables")
+	diff := fs.Bool("diff", false, "compare two traces (old.jsonl new.jsonl) and exit 3 when behavior drifted beyond -threshold")
+	threshold := fs.Float64("threshold", 5, "diff gate: tolerated drift in percent (counters, span counts, traffic) and percentage points (span time shares, cache rates)")
+	noTiming := fs.Bool("notiming", false, "diff: skip the wall-time-share family (for comparing traces from different machines)")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *diff {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(out, "stats: usage: flm stats -diff [-threshold pct] [-notiming] <old.jsonl> <new.jsonl>")
+			return 2
+		}
+		return cmdStatsDiff(fs.Arg(0), fs.Arg(1), *threshold, *noTiming, out)
+	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(out, "stats: usage: flm stats [-mindiskrate pct] <trace.jsonl>  (produced by -trace on run/all/prove/chaos/bench)")
+		fmt.Fprintln(out, "stats: usage: flm stats [-mindiskrate pct] <trace.jsonl>  (produced by -trace on run/all/prove/chaos/bench), or flm stats -diff <old.jsonl> <new.jsonl>")
 		return 2
 	}
 	path := fs.Arg(0)
-	f, err := os.Open(path)
+	summary, err := foldTraceFile(path)
 	if err != nil {
 		fmt.Fprintf(out, "stats: %v\n", err)
-		return 1
-	}
-	defer f.Close()
-	summary, err := foldTrace(f)
-	if err != nil {
-		fmt.Fprintf(out, "stats: %s: %v\n", path, err)
 		return 1
 	}
 	summary.render(out, path)
@@ -147,9 +151,25 @@ type traceSummary struct {
 	shrinkEvals   int64
 	experiments   []expAgg
 	metrics       *traceRec
+	msgTotal      int64 // sum of sim.execute "messages" attrs (full recordings)
+	byteTotal     int64 // sum of sim.execute "bytes" attrs
 }
 
 const slowestKept = 5
+
+// foldTraceFile opens and folds one trace file.
+func foldTraceFile(path string) (*traceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := foldTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
 
 // foldTrace folds every line of a trace into a summary; any unparsable
 // line is an error (a valid trace is valid JSON per line, always).
@@ -220,6 +240,12 @@ func (s *traceSummary) addSpan(rec traceRec) {
 	case "sim.execute":
 		if st := rec.attrStr("cache"); st != "" {
 			s.execCache[st]++
+		}
+		if v, ok := rec.attrInt("messages"); ok {
+			s.msgTotal += v
+		}
+		if v, ok := rec.attrInt("bytes"); ok {
+			s.byteTotal += v
 		}
 	case "core.splice":
 		if st := rec.attrStr("cache"); st != "" {

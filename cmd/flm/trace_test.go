@@ -32,6 +32,11 @@ func normalizeTrace(t *testing.T, raw []byte) string {
 		delete(rec, "start_us")
 		delete(rec, "dur_us")
 		delete(rec, "at_us")
+		if attrs, ok := rec["attrs"].(map[string]any); ok {
+			// Worker utilization attrs are wall-clock readings.
+			delete(attrs, "busy_us")
+			delete(attrs, "idle_us")
+		}
 		if hists, ok := rec["hists"].(map[string]any); ok {
 			counts := map[string]any{}
 			for name, h := range hists {
@@ -98,6 +103,63 @@ func TestTraceGoldenE1(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("normalized E1 trace diverges from %s (re-run with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// traceChaos produces a deterministic chaos trace: seed 1 over six
+// trials on one worker yields five green trials and one expected
+// violation, so the trace exercises the chaos surface end to end —
+// per-trial outcome events, the shrink span, and the sweep.worker row.
+func traceChaos(t *testing.T) []byte {
+	t.Helper()
+	prevWorkers := sweep.SetWorkers(1)
+	t.Cleanup(func() { sweep.SetWorkers(prevWorkers) })
+	restoreCache := flm.SetRunCacheEnabled(false)
+	t.Cleanup(restoreCache)
+	flm.ResetRunCaches()
+	obs.Metrics.Reset()
+	obs.ResetProgress()
+	t.Cleanup(obs.ResetProgress)
+
+	path := filepath.Join(t.TempDir(), "chaos.jsonl")
+	out, code := capture(t, "chaos", "-trace", path, "-seed", "1", "-trials", "6", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("chaos -trace exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "expected-violations=1") {
+		t.Fatalf("fixture drifted: seed 1 x 6 trials should produce exactly one expected violation\n%s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	return raw
+}
+
+// TestTraceGoldenChaos pins the normalized trace of a small chaos run:
+// the chaos.run/chaos.shrink spans, every chaos.trial outcome event and
+// its attributes, the sweep.worker row, and the final metrics line
+// (including the progress gauges, which must hold their deterministic
+// final counts — elapsed/eta stay 0 since nothing snapshots them).
+// Regenerate with `go test ./cmd/flm -run TestTraceGoldenChaos -update`.
+func TestTraceGoldenChaos(t *testing.T) {
+	got := normalizeTrace(t, traceChaos(t))
+	golden := filepath.Join("testdata", "chaos_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("normalized chaos trace diverges from %s (re-run with -update if intentional)\ngot:\n%s\nwant:\n%s",
 			golden, got, want)
 	}
 }

@@ -125,6 +125,57 @@ func TestMakefileChaosDefaultsPinned(t *testing.T) {
 	}
 }
 
+// TestCIObservabilitySmokePinned: the workflow's trace-smoke job runs
+// all three observability legs — the stats summary, the trace-diff
+// regression gate, and the live-endpoint smoke — so none of them can be
+// dropped without this test noticing.
+func TestCIObservabilitySmokePinned(t *testing.T) {
+	data, err := os.ReadFile("../../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []string{"make trace-smoke", "make trace-diff", "make obs-smoke"} {
+		if !regexp.MustCompile(`(?m)run:\s+`+target+`\b`).Match(data) {
+			t.Errorf("CI workflow no longer runs %q", target)
+		}
+	}
+}
+
+// TestMakefileTraceDiffPinned: the trace-diff target keeps its three
+// legs (self-diff, committed reference, injected regression expecting
+// exit 3) against the committed fixtures, and the fixtures exist. The
+// obs-smoke target keeps its three endpoint curls.
+func TestMakefileTraceDiffPinned(t *testing.T) {
+	data, err := os.ReadFile("../../Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fixture := range []string{
+		"cmd/flm/testdata/e1_reference_trace.jsonl",
+		"cmd/flm/testdata/e1_regressed_trace.jsonl",
+	} {
+		if !regexp.MustCompile(regexp.QuoteMeta(fixture)).Match(data) {
+			t.Errorf("Makefile no longer references the committed fixture %s", fixture)
+		}
+		if _, err := os.Stat("../../" + fixture); err != nil {
+			t.Errorf("committed fixture missing: %v", err)
+		}
+	}
+	for name, pattern := range map[string]string{
+		"trace-diff self-diff":          `stats -diff \$\(TRACE_DIFF_FILE\) \$\(TRACE_DIFF_FILE\)`,
+		"trace-diff reference leg":      `stats -diff -notiming -threshold \$\(TRACE_DIFF_THRESHOLD\) \$\(TRACE_REF\)`,
+		"trace-diff exit-3 expectation": `test \$\$status -eq 3`,
+		"obs-smoke healthz curl":        `/healthz`,
+		"obs-smoke metrics curl":        `/metrics`,
+		"obs-smoke progress curl":       `/progress`,
+		"obs-smoke prometheus check":    `\^flm_`,
+	} {
+		if !regexp.MustCompile(pattern).Match(data) {
+			t.Errorf("Makefile lost the %s leg (pattern %q)", name, pattern)
+		}
+	}
+}
+
 // TestExperimentConstsPinned: E18/E20 run the exact smoke pairs. The
 // consts alias chaos's, so this is a tripwire against someone
 // re-hardcoding them.

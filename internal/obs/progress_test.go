@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the reporter goroutine
+// writes while the test polls.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestProgressLifecycle walks one published sweep through its states
+// and checks the snapshot at each: booked, in flight, done, faulted.
+func TestProgressLifecycle(t *testing.T) {
+	ResetProgress()
+	t.Cleanup(ResetProgress)
+
+	SetProgressPhase("E17")
+	ticket := ProgressSweepStart(4)
+	if got := ProgressSnapshot(); got.Total != 4 || got.Done != 0 || got.Phase != "E17" {
+		t.Fatalf("after start: %+v", got)
+	}
+
+	ProgressTrialStart()
+	ProgressTrialStart()
+	if got := ProgressSnapshot(); got.Busy != 2 || got.Queue != 2 {
+		t.Fatalf("in flight: busy=%d queue=%d, want 2/2", got.Busy, got.Queue)
+	}
+
+	ProgressTrialDone(0, 40*time.Microsecond)
+	ProgressTrialDone(1, 60*time.Microsecond)
+	ProgressTrialFault(1)
+	time.Sleep(time.Millisecond) // ensure a non-zero elapsed, so the ETA extrapolation is non-zero
+	got := ProgressSnapshot()
+	if got.Done != 2 || got.Busy != 0 || got.Faults != 1 {
+		t.Fatalf("after two trials: %+v", got)
+	}
+	if got.Percent() != 50 {
+		t.Fatalf("percent = %v, want 50", got.Percent())
+	}
+	if got.ETAUS <= 0 {
+		t.Fatalf("eta = %d, want positive with half the work left", got.ETAUS)
+	}
+	if len(got.Workers) != 2 {
+		t.Fatalf("workers = %+v, want rows for 0 and 1", got.Workers)
+	}
+	if got.Workers[0].Worker != 0 || got.Workers[1].Worker != 1 {
+		t.Fatalf("worker rows unsorted: %+v", got.Workers)
+	}
+	if got.Workers[0].BusyUS != 40 || got.Workers[1].BusyUS != 60 {
+		t.Fatalf("busy accounting: %+v", got.Workers)
+	}
+	if got.Workers[1].Faults != 1 {
+		t.Fatalf("fault attribution: %+v", got.Workers[1])
+	}
+
+	// Finishing the ticket with two trials never run retires them: the
+	// completion ratio converges to 100% instead of sticking at 50%.
+	ticket.Finish()
+	if got := ProgressSnapshot(); got.Total != 2 || got.Percent() != 100 {
+		t.Fatalf("after finish: total=%d pct=%v, want 2/100%%", got.Total, got.Percent())
+	}
+}
+
+// TestProgressGaugesInRegistry checks the sweep state is mirrored into
+// registered gauges (the /metrics and final-metrics-line surface).
+func TestProgressGaugesInRegistry(t *testing.T) {
+	ResetProgress()
+	t.Cleanup(ResetProgress)
+	ProgressSweepStart(3)
+	ProgressTrialStart()
+	ProgressTrialDone(0, time.Microsecond)
+	ProgressSnapshot()
+	s := Metrics.Snapshot()
+	if s.Gauges["progress.trials.total"] != 3 || s.Gauges["progress.trials.done"] != 1 {
+		t.Fatalf("registry gauges: %v", s.Gauges)
+	}
+	if s.Gauges["progress.queue.depth"] != 2 {
+		t.Fatalf("queue gauge = %d, want 2", s.Gauges["progress.queue.depth"])
+	}
+}
+
+// TestProgressLine pins the human rendering the stderr reporter emits.
+func TestProgressLine(t *testing.T) {
+	p := ProgressInfo{Phase: "chaos seed=1", Total: 100, Done: 25, Busy: 4, Queue: 71,
+		ElapsedUS: 2_000_000, ETAUS: 6_000_000, Faults: 2}
+	line := p.Line()
+	for _, want := range []string{"[chaos seed=1]", "25/100", "25.0%", "busy=4", "queue=71", "eta=6s", "faults=2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestProgressReporter runs the reporter at a tight interval and checks
+// it prints progress lines and a final line on stop.
+func TestProgressReporter(t *testing.T) {
+	ResetProgress()
+	t.Cleanup(ResetProgress)
+	ProgressSweepStart(2)
+	ProgressTrialStart()
+	ProgressTrialDone(0, time.Microsecond)
+
+	var buf syncBuffer
+	stop := StartProgressReporter(&buf, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "flm progress: 1/2 trials") {
+		t.Fatalf("reporter output %q lacks a progress line", out)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the registry, serving
+// the /metrics endpoint. Rendering reads the live atomics directly —
+// Snapshot deliberately drops histogram buckets to keep the trace's
+// final metrics line compact, but the exposition format wants the full
+// cumulative bucket ladder.
+
+// promName maps a registry series name ("sim.cache.hit") to a valid
+// Prometheus metric name ("flm_sim_cache_hit"): the flm_ namespace
+// prefix plus every character outside [a-zA-Z0-9_] flattened to '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("flm_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format, sorted by name within each kind. Counters and
+// gauges are one sample each; histograms emit the cumulative _bucket
+// ladder (upper bound of power-of-two bucket i is 2^i - 1, matching
+// Histogram's bit-length bucketing), then _sum and _count. Values are
+// read atomically per series; like Snapshot, the view is consistent
+// per series, not across series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counters {
+		name := promName(c.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		name := promName(g.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		name := promName(h.name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		// Cumulative ladder up to the highest non-empty bucket; empty
+		// histograms still emit the +Inf bucket so the series parses.
+		top := -1
+		for i := len(h.buckets) - 1; i >= 0; i-- {
+			if h.buckets[i].Load() != 0 {
+				top = i
+				break
+			}
+		}
+		var cum uint64
+		for i := 0; i <= top; i++ {
+			cum += h.buckets[i].Load()
+			// Bucket i holds values of bit length i: [2^(i-1), 2^i), so
+			// its inclusive upper bound is 2^i - 1 (bucket 0 is exactly
+			// the value 0). Bucket 64 holds values with the top bit set;
+			// its bound 2^64-1 is the uint64 maximum.
+			var le uint64
+			if i >= 64 {
+				le = ^uint64(0)
+			} else {
+				le = (uint64(1) << i) - 1
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		count := h.count.Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, count, name, h.sum.Load(), name, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

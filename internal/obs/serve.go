@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The live observability endpoint: an opt-in, stdlib-only HTTP listener
+// serving the metrics registry, a health probe, the progress snapshot,
+// and the runtime profiler. Nothing in this file runs unless StartServer
+// is called — the zero-cost-when-disabled contract extends to the
+// endpoint: no listener, no goroutine, no allocation when the CLI's
+// -obs-listen flag / FLM_OBS_LISTEN env is unset (guard-tested in
+// cmd/flm).
+//
+// Routes:
+//
+//	/healthz        "ok" — liveness probe
+//	/metrics        Prometheus text exposition of the default registry
+//	/progress       JSON ProgressSnapshot (trials, workers, queue, ETA)
+//	/debug/pprof/*  net/http/pprof (profile, heap, goroutine, trace, ...)
+//
+// The handlers are registered on a private mux, never on
+// http.DefaultServeMux, so importing net/http/pprof here cannot leak
+// profiler routes into any other server a future `flm serve` might run.
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// StartServer listens on addr (e.g. "127.0.0.1:9464", ":0" for an
+// ephemeral port) and serves the observability routes until Close. The
+// accept loop runs on its own goroutine; the call returns as soon as
+// the listener is bound, so the caller can report the resolved address.
+func StartServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Refresh the clock-derived progress gauges so they scrape live.
+		ProgressSnapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ProgressSnapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns ErrServerClosed after Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port when the
+// caller asked for :0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for the accept loop to exit.
+// In-flight handlers finish writing; new connections are refused.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

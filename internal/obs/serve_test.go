@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get fetches one endpoint path from the test server.
+func get(t *testing.T, s *Server, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// TestServerEndpoints starts a server on an ephemeral port and checks
+// every route serves what it claims.
+func TestServerEndpoints(t *testing.T) {
+	ResetProgress()
+	t.Cleanup(ResetProgress)
+	c := NewCounter("obstest.server.hits")
+	c.Add(7)
+	h := NewHistogram("obstest.server.dur_us")
+	h.Observe(5)
+	ProgressSweepStart(2)
+	ProgressTrialStart()
+	ProgressTrialDone(0, 10*time.Microsecond)
+	SetProgressPhase("E9")
+
+	s, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer s.Close()
+
+	if body, _ := get(t, s, "/healthz"); body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	metrics, ctype := get(t, s, "/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content-type %q lacks the exposition version", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE flm_obstest_server_hits counter",
+		"flm_obstest_server_hits 7",
+		"# TYPE flm_obstest_server_dur_us histogram",
+		`flm_obstest_server_dur_us_bucket{le="+Inf"} 1`,
+		"flm_obstest_server_dur_us_sum 5",
+		"# TYPE flm_progress_trials_done gauge",
+		"flm_progress_trials_done 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	progress, ctype := get(t, s, "/progress")
+	if !strings.Contains(ctype, "application/json") {
+		t.Errorf("/progress content-type = %q", ctype)
+	}
+	var info ProgressInfo
+	if err := json.Unmarshal([]byte(progress), &info); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, progress)
+	}
+	if info.Phase != "E9" || info.Total != 2 || info.Done != 1 {
+		t.Errorf("/progress = %+v", info)
+	}
+
+	if body, _ := get(t, s, "/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+
+	if err := s.Close(); err != nil && err != http.ErrServerClosed {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Error("server still accepting after Close")
+	}
+}
+
+// TestWritePrometheusFormat pins the exposition rendering on a private
+// registry: sorted names, sanitized identifiers, the cumulative
+// power-of-two bucket ladder, and the empty-histogram degenerate case.
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("z.last").Add(2)
+	r.NewCounter("a.first").Inc()
+	r.NewGauge("queue-depth").Set(-3)
+	h := r.NewHistogram("lat.us")
+	h.Observe(0) // bucket 0, le="0"
+	h.Observe(3) // bit length 2, le="3"
+	h.Observe(3)
+	r.NewHistogram("empty.hist")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE flm_a_first counter
+flm_a_first 1
+# TYPE flm_z_last counter
+flm_z_last 2
+# TYPE flm_queue_depth gauge
+flm_queue_depth -3
+# TYPE flm_empty_hist histogram
+flm_empty_hist_bucket{le="+Inf"} 0
+flm_empty_hist_sum 0
+flm_empty_hist_count 0
+# TYPE flm_lat_us histogram
+flm_lat_us_bucket{le="0"} 1
+flm_lat_us_bucket{le="1"} 1
+flm_lat_us_bucket{le="3"} 3
+flm_lat_us_bucket{le="+Inf"} 3
+flm_lat_us_sum 6
+flm_lat_us_count 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusParses round-trips the default registry through a
+// minimal exposition-format parser: every non-comment line must be
+// `name{labels} value` with a numeric value, and every # TYPE must be
+// followed by at least one sample of that family. This is the
+// "valid Prometheus text for every registered series" acceptance check.
+func TestWritePrometheusParses(t *testing.T) {
+	// Tick a bit of everything so real registered series render.
+	NewCounter("obstest.parse.c").Inc()
+	NewGauge("obstest.parse.g").Set(9)
+	NewHistogram("obstest.parse.h").Observe(1000)
+
+	var b strings.Builder
+	if err := Metrics.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	lastType := ""
+	samplesSinceType := 0
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if lastType != "" && samplesSinceType == 0 {
+				t.Errorf("line %d: family %q has no samples", i+1, lastType)
+			}
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
+			}
+			lastType = parts[2]
+			samplesSinceType = 0
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("line %d: no space in sample %q", i+1, line)
+		}
+		if base, _, _ := strings.Cut(name, "{"); !strings.HasPrefix(base, "flm_") {
+			t.Errorf("line %d: sample %q outside the flm_ namespace", i+1, line)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(value, "%g", &f); err != nil {
+			t.Errorf("line %d: non-numeric value %q", i+1, value)
+		}
+		if !strings.HasPrefix(name, lastType) {
+			t.Errorf("line %d: sample %q outside the preceding # TYPE %s family", i+1, name, lastType)
+		}
+		samplesSinceType++
+	}
+	if lastType != "" && samplesSinceType == 0 {
+		t.Errorf("final family %q has no samples", lastType)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"io"
+	"testing"
+
+	"flm/internal/graph"
+	"flm/internal/obs"
+	"flm/internal/runcache"
+)
+
+// asyncCounts is a point-in-time reading of the sim.async.* counters.
+type asyncCounts struct {
+	sent, delivered, delayed, lost, collided uint64
+}
+
+func readAsyncCounts() asyncCounts {
+	return asyncCounts{
+		sent:      mAsyncSent.Value(),
+		delivered: mAsyncDelivered.Value(),
+		delayed:   mAsyncDelayed.Value(),
+		lost:      mAsyncLost.Value(),
+		collided:  mAsyncCollided.Value(),
+	}
+}
+
+func (a asyncCounts) sub(b asyncCounts) asyncCounts {
+	return asyncCounts{
+		sent:      a.sent - b.sent,
+		delivered: a.delivered - b.delivered,
+		delayed:   a.delayed - b.delayed,
+		lost:      a.lost - b.lost,
+		collided:  a.collided - b.collided,
+	}
+}
+
+// tracedAsyncDeltas executes one clean run under a discard tracer (run
+// cache off, so the executor really runs) and returns the run plus the
+// sim.async.* counter deltas it produced.
+func tracedAsyncDeltas(t *testing.T, sys *System, rounds int, delays *DelaySchedule) asyncCounts {
+	t.Helper()
+	restoreCache := runcache.SetEnabled(false)
+	defer restoreCache()
+	restore := obs.SetTracer(obs.NewTracer(io.Discard))
+	defer restore()
+	before := readAsyncCounts()
+	if _, err := ExecuteWith(sys, rounds, ExecuteOpts{Delays: delays}); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return readAsyncCounts().sub(before)
+}
+
+// checkConservation asserts the accounting identity every delay-schedule
+// execution must satisfy on a clean run: each sent message is classified
+// exactly once as delivered, lost past the horizon, or collided.
+func checkConservation(t *testing.T, d asyncCounts) {
+	t.Helper()
+	if d.sent != d.delivered+d.lost+d.collided {
+		t.Errorf("conservation violated: sent %d != delivered %d + lost %d + collided %d",
+			d.sent, d.delivered, d.lost, d.collided)
+	}
+	if d.delayed > d.sent {
+		t.Errorf("delayed %d exceeds sent %d", d.delayed, d.sent)
+	}
+}
+
+// TestAsyncAccountingConservation pins the counters on the canonical
+// delay shape: every l1->l0 message of a 2-node gossip line delayed +2
+// across a 5-round horizon. The round-0..2 delayed copies land (rounds
+// 3..5 would exceed... round r lands at r+3, so rounds 0 and 1 land at
+// 3 and 4), later ones and the final synchronous sends fall off the
+// horizon.
+func TestAsyncAccountingConservation(t *testing.T) {
+	g := graph.Line(2)
+	sys, err := NewSystem(g, gossipProtocol(g, 5, map[string]Input{"l0": "x", "l1": "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := &DelaySchedule{Rules: []DelayRule{
+		{From: "l1", To: "l0", Round: 0, Extra: 2},
+		{From: "l1", To: "l0", Round: 1, Extra: 2},
+		{From: "l1", To: "l0", Round: 2, Extra: 2},
+		{From: "l1", To: "l0", Round: 3, Extra: 2},
+	}}
+	d := tracedAsyncDeltas(t, sys, 5, delays)
+	checkConservation(t, d)
+	if d.sent == 0 {
+		t.Fatal("no sends accounted; is the delay path traced?")
+	}
+	// Exactly the four rule-matched sends carry a positive extra delay.
+	if d.delayed != 4 {
+		t.Errorf("delayed = %d, want 4 (one per matching rule)", d.delayed)
+	}
+	// l1's rounds 2 and 3 sends (+2) deliver at rounds 5 and 6, past the
+	// 5-round horizon, as do both nodes' round-4 synchronous sends.
+	if d.lost < 2 {
+		t.Errorf("lost = %d, want >= 2 (delayed past the horizon)", d.lost)
+	}
+	if d.collided != 0 {
+		t.Errorf("collided = %d, want 0 (uniform +2 delay preserves ordering)", d.collided)
+	}
+}
+
+// TestAsyncAccountingCollision pins the collided counter: delaying only
+// the round-0 message by +1 makes it land at round 2, the same delivery
+// round as the round-1 message, which overwrites it in the mailbox slot.
+func TestAsyncAccountingCollision(t *testing.T) {
+	g := graph.Line(2)
+	builder := func(self string, neighbors []string, input Input) Device {
+		d := &collisionDevice{}
+		d.Init(self, neighbors, input)
+		return d
+	}
+	sys, err := NewSystem(g, Protocol{
+		Builders: map[string]Builder{"l0": builder, "l1": builder},
+		Inputs:   map[string]Input{"l0": "", "l1": ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := &DelaySchedule{Rules: []DelayRule{
+		{From: "l1", To: "l0", Round: 0, Extra: 1},
+	}}
+	d := tracedAsyncDeltas(t, sys, 4, delays)
+	checkConservation(t, d)
+	if d.collided != 1 {
+		t.Errorf("collided = %d, want exactly 1 (round-0 copy overwritten at round 2)", d.collided)
+	}
+	if d.delayed != 1 {
+		t.Errorf("delayed = %d, want 1", d.delayed)
+	}
+}
+
+// TestAsyncAccountingSilentWhenSynchronous pins the zero-cost contract
+// in counter form: a traced execution with no delay schedule moves none
+// of the sim.async.* counters.
+func TestAsyncAccountingSilentWhenSynchronous(t *testing.T) {
+	g := graph.Line(2)
+	sys, err := NewSystem(g, gossipProtocol(g, 3, map[string]Input{"l0": "x", "l1": "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tracedAsyncDeltas(t, sys, 3, nil)
+	if d != (asyncCounts{}) {
+		t.Errorf("synchronous traced run moved async counters: %+v", d)
+	}
+}

@@ -338,6 +338,14 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 	}
 	delays, maxExtra := opts.Delays.compile()
 	window := maxExtra + 2
+	// Async message accounting (sim.async.* counters): only ever non-nil
+	// for a traced delay-schedule execution, so the synchronous hot path
+	// pays one nil check per dispatch and nothing else.
+	var acct *asyncAcct
+	if delays != nil && obs.Enabled() {
+		acct = &asyncAcct{}
+		defer acct.flush()
+	}
 	ringBuf := make([]Payload, window*totalDeg)
 	ring := make([][][]Payload, window)
 	views := make([][]Payload, window*n)
@@ -389,6 +397,9 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 			for s, p := range cur[u] {
 				if p != None {
 					inbox[inName[u][s]] = p
+					if acct != nil {
+						acct.delivered++
+					}
 				}
 			}
 			out, fault := safeStep(sys.Devices[u], g.Name(u), r, inbox)
@@ -428,7 +439,23 @@ func executeCore(ctx context.Context, sys *System, rounds int, opts ExecuteOpts,
 					}
 					deliver := r + 1
 					if delays != nil {
-						deliver += delays[delayKey{uName, to, r}]
+						extra := delays[delayKey{uName, to, r}]
+						deliver += extra
+						if acct != nil {
+							acct.sent++
+							if extra > 0 {
+								acct.delayed++
+							}
+							switch {
+							case deliver >= rounds:
+								acct.lost++
+							case ring[deliver%window][t.v][t.slot] != None:
+								// This send lands on a slot still holding an
+								// undelivered earlier message on the same
+								// edge: the overwritten one is the casualty.
+								acct.collided++
+							}
+						}
 					}
 					if deliver < rounds {
 						ring[deliver%window][t.v][t.slot] = payload

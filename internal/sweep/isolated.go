@@ -102,6 +102,8 @@ func Isolated[T any](ctx context.Context, n int, o Opts, fn func(i int) (T, erro
 			obs.Int("trials", n), obs.Int("workers", workers),
 			obs.Int64("timeout_us", int64(o.Timeout/time.Microsecond)))
 		mSweeps.Inc()
+		ticket := obs.ProgressSweepStart(n)
+		defer ticket.Finish()
 	}
 	type claim struct{ i int }
 	work := make(chan claim)
@@ -133,13 +135,13 @@ func Isolated[T any](ctx context.Context, n int, o Opts, fn func(i int) (T, erro
 			if traced {
 				_, ws = obs.StartSpan(ctx, "sweep.worker", obs.Int("worker", w))
 				started = time.Now()
-				wo = &workerObs{}
+				wo = &workerObs{worker: w}
 			}
 			doLabeled(ctx, w, func() {
 				for c := range work {
 					var t0 time.Time
 					if wo != nil {
-						t0 = time.Now()
+						t0 = wo.begin()
 					}
 					results[c.i], errs[c.i] = runIsolated(ctx, c.i, o.Timeout, fn)
 					if wo != nil {

@@ -113,6 +113,8 @@ func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, 
 			obs.Int("trials", n), obs.Int("workers", workers))
 		mSweeps.Inc()
 		defer sweepSpan.End()
+		ticket := obs.ProgressSweepStart(n)
+		defer ticket.Finish()
 	}
 	if workers <= 1 {
 		// Sequential fast path: no goroutines, identical semantics. Under
@@ -131,7 +133,7 @@ func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, 
 			}
 			var t0 time.Time
 			if wo != nil {
-				t0 = time.Now()
+				t0 = wo.begin()
 			}
 			v, err := fn(i)
 			if wo != nil {
@@ -166,7 +168,7 @@ func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, 
 			}
 			var t0 time.Time
 			if wo != nil {
-				t0 = time.Now()
+				t0 = wo.begin()
 			}
 			v, err := fn(i)
 			if wo != nil {
@@ -197,7 +199,7 @@ func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, 
 			}
 			_, ws := obs.StartSpan(ctx, "sweep.worker", obs.Int("worker", w))
 			started := time.Now()
-			var wo workerObs
+			wo := workerObs{worker: w}
 			doLabeled(ctx, w, func() { loop(&wo) })
 			wo.finish(ws, started)
 		}(w)

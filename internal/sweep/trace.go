@@ -25,23 +25,40 @@ var (
 // workerObs accumulates one worker's contribution to a traced sweep.
 // Methods are called by the owning worker goroutine only.
 type workerObs struct {
+	worker int
 	trials int
 	faults int
 	busy   time.Duration
 }
 
+// begin marks one trial claimed (live progress) and returns its start
+// instant for record.
+//
+//flmlint:allow flmdeterminism wall clock feeds span timing and progress only, never a result
+//flmlint:allow flmobscost called only on the traced path, where wo is non-nil
+func (wo *workerObs) begin() time.Time {
+	obs.ProgressTrialStart()
+	return time.Now()
+}
+
 // record books one finished trial.
+//
+//flmlint:allow flmobscost called only on the traced path, where wo is non-nil
 func (wo *workerObs) record(d time.Duration) {
 	wo.trials++
 	wo.busy += d
 	mSweepTrials.Inc()
 	hTrialDur.Observe(uint64(d / time.Microsecond))
+	obs.ProgressTrialDone(wo.worker, d)
 }
 
 // fault books one failed trial.
+//
+//flmlint:allow flmobscost called only on the traced path, where wo is non-nil
 func (wo *workerObs) fault() {
 	wo.faults++
 	mTrialFaults.Inc()
+	obs.ProgressTrialFault(wo.worker)
 }
 
 // finish closes the worker's span with its aggregate attributes. The
